@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/experiment/
+
+# Tiny-scale benchmark sweep over every paper table/figure.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate the paper's figures (text + SVG + JSON) at default scale.
+figures:
+	$(GO) run ./cmd/mamabench -scale default -svg figures -json data all
+
+examples:
+	$(GO) run ./examples/gametheory
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/fairness
+	$(GO) run ./examples/bandwidth
+	$(GO) run ./examples/policytrace
+
+clean:
+	rm -f fig2_bandit.svg fig4_shared.svg fig12_mumama.svg

@@ -1,0 +1,405 @@
+// Package micromama_bench regenerates every table and figure of the
+// paper as Go benchmarks (see the experiment index in DESIGN.md). Each
+// benchmark runs the corresponding experiment once per iteration and
+// reports the headline quantity via b.ReportMetric, printing the full
+// report the first time.
+//
+// The scale is selected with MAMA_BENCH_SCALE (tiny | small | default |
+// full; default "tiny" so `go test -bench=.` completes in minutes on a
+// laptop). Reports are cached across benchmarks in one process, so
+// re-running a benchmark with higher -benchtime does not redo the
+// simulations.
+package micromama_bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"micromama/internal/core"
+	"micromama/internal/dram"
+	"micromama/internal/experiment"
+	"micromama/internal/prefetch"
+	"micromama/internal/sim"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *experiment.Runner
+
+	cacheMu sync.Mutex
+	cache   = map[string]interface{}{}
+)
+
+func benchScale() experiment.Scale {
+	switch os.Getenv("MAMA_BENCH_SCALE") {
+	case "small":
+		return experiment.ScaleSmall
+	case "default":
+		return experiment.ScaleDefault
+	case "full":
+		return experiment.ScaleFull
+	default:
+		return experiment.ScaleTiny
+	}
+}
+
+func getRunner() *experiment.Runner {
+	runnerOnce.Do(func() { runner = experiment.NewRunner(benchScale()) })
+	return runner
+}
+
+// cached memoizes an experiment across benchmark iterations and
+// benchmarks.
+func cached[T any](b *testing.B, key string, f func() (T, error)) T {
+	b.Helper()
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if v, ok := cache[key]; ok {
+		return v.(T)
+	}
+	v, err := f()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache[key] = v
+	fmt.Printf("\n%v\n", v)
+	return v
+}
+
+// --- Tables ---------------------------------------------------------
+
+// BenchmarkTable1Params pins the paper's Table 1 hyperparameters.
+func BenchmarkTable1Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultMuMamaConfig()
+		if cfg.Step != 800 || cfg.TArbit != 5 || cfg.KStep != 5 || cfg.JAVSize != 2 {
+			b.Fatal("Table 1 defaults drifted")
+		}
+	}
+}
+
+// BenchmarkTable2Arms exercises every Table 2 arm configuration.
+func BenchmarkTable2Arms(b *testing.B) {
+	e := prefetch.NewEnsemble()
+	b.ReportMetric(float64(prefetch.NumArms), "arms")
+	for i := 0; i < b.N; i++ {
+		e.SetArm(i % prefetch.NumArms)
+		e.OnAccess(0x40, uint64(i)*64, false, nil)
+	}
+}
+
+// BenchmarkTable3System builds the Table 3 system.
+func BenchmarkTable3System(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(8)
+		if err := cfg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures --------------------------------------------------------
+
+// BenchmarkFig1Game: independent learners reach the Nash equilibrium of
+// the Figure 1 game; the metric is the steady-state Nash rate.
+func BenchmarkFig1Game(b *testing.B) {
+	var rep *experiment.GameReport
+	for i := 0; i < b.N; i++ {
+		rep = experiment.PlayGame(4000, 11)
+	}
+	b.ReportMetric(rep.NashRate, "nash-rate")
+	b.ReportMetric(rep.SupervisedTotal-rep.IndependentTotal, "supervisor-gain")
+}
+
+// BenchmarkFig2Timeline: policy timeline of uncoordinated Bandits on the
+// motivating mix.
+func BenchmarkFig2Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := cached(b, "fig2", func() (*experiment.TimelineReport, error) {
+			return getRunner().FigTimeline("bandit")
+		})
+		b.ReportMetric(float64(len(rep.Samples)), "policy-changes")
+	}
+}
+
+// BenchmarkFig3PrefetchScaling: prefetches issued vs core count; the
+// metric is Bandit's 8-core blow-up factor (paper: ~10x vs ~8x for the
+// others).
+func BenchmarkFig3PrefetchScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := cached(b, "fig3", func() (*experiment.PrefetchScalingReport, error) {
+			return getRunner().Fig3PrefetchScaling([]int{1, 4, 8})
+		})
+		n := len(rep.CoreCounts) - 1
+		b.ReportMetric(rep.Normalized["bandit"][n], "bandit-8C-x")
+		b.ReportMetric(rep.Normalized["bingo"][n], "bingo-8C-x")
+	}
+}
+
+// BenchmarkFig4SharedReward: policy timeline under the naïve shared
+// reward (credit-assignment problem).
+func BenchmarkFig4SharedReward(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := cached(b, "fig4", func() (*experiment.TimelineReport, error) {
+			return getRunner().FigTimeline("bandit-shared")
+		})
+		b.ReportMetric(float64(len(rep.Samples)), "policy-changes")
+	}
+}
+
+// BenchmarkFig9Throughput: average WS vs Bandit at 1/4/8 cores (paper:
+// µMama +1.9%/+2.1% at 4/8 cores).
+func BenchmarkFig9Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := cached(b, "fig9", func() (*experiment.ThroughputReport, error) {
+			return getRunner().Fig9Throughput([]int{1, 4, 8})
+		})
+		b.ReportMetric(rep.NormWS[4]["mumama"]*100, "mumama-4C-pct")
+		b.ReportMetric(rep.NormWS[8]["mumama"]*100, "mumama-8C-pct")
+	}
+}
+
+// BenchmarkFig10PerWorkload: per-mix WS (µMama) and HS (µMama-Fair)
+// normalized to Bandit.
+func BenchmarkFig10PerWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ws := cached(b, "fig10-ws4", func() (*experiment.PerWorkloadReport, error) {
+			return getRunner().FigPerWorkload(4, "mumama", false)
+		})
+		hs := cached(b, "fig10-hs4", func() (*experiment.PerWorkloadReport, error) {
+			return getRunner().FigPerWorkload(4, "mumama-fair", true)
+		})
+		b.ReportMetric(ws.Average*100, "ws-avg-pct")
+		b.ReportMetric(hs.Average*100, "hs-avg-pct")
+	}
+}
+
+// BenchmarkFig11Bandwidth: WS vs Bandit across memory bandwidths
+// (paper: µMama's edge grows when bandwidth shrinks).
+func BenchmarkFig11Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := cached(b, "fig11", func() (*experiment.BandwidthReport, error) {
+			var drams []sim.Config
+			for _, d := range []dram.Config{dram.DDR4(1866, 1), dram.DDR4(2400, 1), dram.DDR4(2400, 2)} {
+				cfg := sim.DefaultConfig(4)
+				cfg.DRAM = d
+				drams = append(drams, cfg)
+			}
+			return getRunner().Fig11Bandwidth([]int{4}, drams)
+		})
+		// Metric: µMama's gain at the most constrained point.
+		for _, p := range rep.Points {
+			if p.Controller == "mumama" && p.PeakGBps < 16 {
+				b.ReportMetric(p.NormWS*100, "mumama-lowbw-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig12MuMamaTimeline: µMama's policy timeline with
+// JAV-dictated shading (paper §6.5: 64-67% of steps dictated).
+func BenchmarkFig12MuMamaTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := cached(b, "fig12", func() (*experiment.TimelineReport, error) {
+			return getRunner().FigTimeline("mumama")
+		})
+		b.ReportMetric(rep.JointFraction*100, "jav-dictated-pct")
+	}
+}
+
+// BenchmarkFig13Fairness: unfairness and HS by prefetcher (paper:
+// µMama-Fair ~-30% unfairness, +9.4/+10.4% HS vs Bandit).
+func BenchmarkFig13Fairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := cached(b, "fig13", func() (*experiment.FairnessReport, error) {
+			return getRunner().Fig13Fairness([]int{4, 8})
+		})
+		b.ReportMetric(rep.NormHS[4]["mumama-fair"]*100, "fair-hs-4C-pct")
+		b.ReportMetric(rep.Unfairness[4]["mumama-fair"]/rep.Unfairness[4]["bandit"], "unfair-ratio-4C")
+	}
+}
+
+// BenchmarkFig14Frontier: the throughput/fairness Pareto frontier
+// (paper: µMama variants form the frontier; Bandit is non-Pareto).
+func BenchmarkFig14Frontier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := cached(b, "fig14", func() (*experiment.FrontierReport, error) {
+			return getRunner().Fig14Frontier(4)
+		})
+		var banditDominated bool
+		var bp experiment.FrontierPoint
+		for _, p := range rep.Points {
+			if p.Controller == "bandit" {
+				bp = p
+			}
+		}
+		for _, p := range rep.Points {
+			if p.Controller != "bandit" && p.WS >= bp.WS && p.Fairness >= bp.Fairness {
+				banditDominated = true
+			}
+		}
+		v := 0.0
+		if banditDominated {
+			v = 1
+		}
+		b.ReportMetric(v, "bandit-dominated")
+	}
+}
+
+// BenchmarkFig15aAblation: component breakdown (GRW / JAV / full /
+// profiled) at 8 cores.
+func BenchmarkFig15aAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := cached(b, "fig15a", func() (*experiment.AblationReport, error) {
+			return getRunner().Fig15aAblation(8)
+		})
+		b.ReportMetric(rep.NormWS["mumama"]*100, "mumama-pct")
+		b.ReportMetric(rep.NormWS["mumama-profiled"]*100, "profiled-pct")
+	}
+}
+
+// BenchmarkFig15bJAVSize: WS vs JAV cache size at 4 cores.
+func BenchmarkFig15bJAVSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := cached(b, "fig15b", func() (*experiment.JAVSweepReport, error) {
+			return getRunner().Fig15bJAVSweep(4, []int{1, 2, 4, 8, 16})
+		})
+		b.ReportMetric(rep.NormWS[1]*100, "jav2-pct")
+	}
+}
+
+// BenchmarkFig16Profiled: per-mix WS of µMama-Profiled vs Bandit at 8
+// cores (paper: +3.06% average, fewer slowdown mixes).
+func BenchmarkFig16Profiled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := cached(b, "fig16", func() (*experiment.PerWorkloadReport, error) {
+			return getRunner().FigPerWorkload(8, "mumama-profiled", false)
+		})
+		b.ReportMetric(rep.Average*100, "avg-pct")
+	}
+}
+
+// --- Ablation benches for DESIGN.md's called-out choices -------------
+
+// BenchmarkAblationThetaSweep sweeps the global-reward threshold
+// θ_global (DESIGN.md ablation).
+func BenchmarkAblationThetaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ws := cached(b, "ablation-theta", func() ([]float64, error) {
+			r := getRunner()
+			mixes := r.MixesFor(4)
+			cfg := sim.DefaultConfig(4)
+			var out []float64
+			for _, theta := range []float64{0.3, 0.65, 0.9} {
+				rs, err := r.RunMixes(mixes, cfg, "mumama", experiment.Options{Theta: theta})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, experiment.MeanWS(rs))
+			}
+			return out, nil
+		})
+		b.ReportMetric(ws[1], "ws-theta-default")
+	}
+}
+
+// BenchmarkAblationTarbit sweeps the arbiter period (DESIGN.md
+// ablation).
+func BenchmarkAblationTarbit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ws := cached(b, "ablation-tarbit", func() ([]float64, error) {
+			r := getRunner()
+			mixes := r.MixesFor(4)
+			cfg := sim.DefaultConfig(4)
+			var out []float64
+			for _, ta := range []int{2, 5, 10} {
+				rs, err := r.RunMixes(mixes, cfg, "mumama", experiment.Options{TArbit: ta})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, experiment.MeanWS(rs))
+			}
+			return out, nil
+		})
+		b.ReportMetric(ws[1], "ws-tarbit5")
+	}
+}
+
+// BenchmarkAblationJAVLCB compares the paper's raw-argmax JAV selection
+// (lcb = 0) with this repo's confidence-penalized default (DESIGN.md
+// ablation).
+func BenchmarkAblationJAVLCB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ws := cached(b, "ablation-lcb", func() ([]float64, error) {
+			r := getRunner()
+			mixes := r.MixesFor(4)
+			cfg := sim.DefaultConfig(4)
+			var out []float64
+			for _, lcb := range []float64{-1, 0.2} { // -1 => raw argmax
+				var sum float64
+				for _, mix := range mixes {
+					c := core.DefaultMuMamaConfig()
+					c.Step = r.Scale.Step
+					c.JAVLCB = lcb
+					res, err := r.RunMixWith(mix, cfg, core.NewMuMama(c))
+					if err != nil {
+						return nil, err
+					}
+					sum += res.WS
+				}
+				out = append(out, sum/float64(len(mixes)))
+			}
+			return out, nil
+		})
+		b.ReportMetric(ws[0], "ws-raw-argmax")
+		b.ReportMetric(ws[1], "ws-lcb")
+	}
+}
+
+// BenchmarkAblationSync compares timestep synchronization settings
+// (k_step cap values; DESIGN.md ablation).
+func BenchmarkAblationSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ws := cached(b, "ablation-sync", func() ([]float64, error) {
+			r := getRunner()
+			mixes := r.MixesFor(4)
+			cfg := sim.DefaultConfig(4)
+			var out []float64
+			for _, kstep := range []int{2, 5, 20} {
+				var sum float64
+				for _, mix := range mixes {
+					c := core.DefaultMuMamaConfig()
+					c.Step = r.Scale.Step
+					c.KStep = kstep
+					res, err := r.RunMixWith(mix, cfg, core.NewMuMama(c))
+					if err != nil {
+						return nil, err
+					}
+					sum += res.WS
+				}
+				out = append(out, sum/float64(len(mixes)))
+			}
+			return out, nil
+		})
+		b.ReportMetric(ws[1], "ws-kstep5")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed
+// (instructions simulated per second, single core, no prefetching).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	mix := experiment.MotivatingMix()
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		sys, err := sim.New(sim.DefaultConfig(1), mix.Traces()[:1], nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sys.Run(200_000, 0)
+		instr += res.Cores[0].Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+}

@@ -1,0 +1,269 @@
+// Command mamabench regenerates the paper's tables and figures (see the
+// experiment index in DESIGN.md).
+//
+// Usage:
+//
+//	mamabench -scale small fig9 fig13
+//	mamabench -scale default all
+//	mamabench tab2 overheads fig1
+//
+// Experiment ids: tab1 tab2 tab3 fig1 fig2 fig3 fig4 fig9 fig10 fig11
+// fig12 fig13 fig14 fig15a fig15b fig16 overheads, or "all".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"micromama/internal/core"
+	"micromama/internal/dram"
+	"micromama/internal/experiment"
+	"micromama/internal/prefetch"
+	"micromama/internal/sim"
+)
+
+var scales = map[string]experiment.Scale{
+	"tiny":    experiment.ScaleTiny,
+	"small":   experiment.ScaleSmall,
+	"default": experiment.ScaleDefault,
+	"full":    experiment.ScaleFull,
+}
+
+var (
+	svgDir  string
+	jsonDir string
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "tiny | small | default | full")
+	flag.StringVar(&svgDir, "svg", "", "also write figures as SVG files into this directory")
+	flag.StringVar(&jsonDir, "json", "", "also write report data as JSON files into this directory")
+	flag.Parse()
+
+	for _, dir := range []string{svgDir, jsonDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "mamabench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	scale, ok := scales[*scaleName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mamabench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "mamabench: no experiments named (try `mamabench all`)")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = []string{"tab1", "tab2", "tab3", "overheads", "fig1", "fig2", "fig3", "fig4",
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16", "sec63"}
+	}
+
+	r := experiment.NewRunner(scale)
+	for _, id := range ids {
+		fmt.Printf("==== %s (scale %s) ====\n", id, *scaleName)
+		if err := run(r, id); err != nil {
+			fmt.Fprintf(os.Stderr, "mamabench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// emit prints a report and, with -svg/-json, writes its graphical and
+// machine-readable forms.
+func emit(id string, rep fmt.Stringer) {
+	fmt.Print(rep)
+	if svgDir != "" {
+		if sv, ok := rep.(interface{ SVG() string }); ok {
+			path := filepath.Join(svgDir, id+".svg")
+			if err := os.WriteFile(path, []byte(sv.SVG()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "mamabench: svg:", err)
+			} else {
+				fmt.Printf("(wrote %s)\n", path)
+			}
+		}
+	}
+	if jsonDir != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mamabench: json:", err)
+			return
+		}
+		path := filepath.Join(jsonDir, id+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mamabench: json:", err)
+			return
+		}
+		fmt.Printf("(wrote %s)\n", path)
+	}
+}
+
+func run(r *experiment.Runner, id string) error {
+	switch id {
+	case "tab1":
+		printTable1()
+	case "tab2":
+		printTable2()
+	case "tab3":
+		printTable3()
+	case "overheads":
+		printOverheads()
+	case "fig1":
+		fmt.Print(experiment.PlayGame(4000, 11))
+	case "fig2":
+		rep, err := r.FigTimeline("bandit")
+		if err != nil {
+			return err
+		}
+		emit("fig2", rep)
+	case "fig3":
+		rep, err := r.Fig3PrefetchScaling([]int{1, 4, 8})
+		if err != nil {
+			return err
+		}
+		emit("fig3", rep)
+	case "fig4":
+		rep, err := r.FigTimeline("bandit-shared")
+		if err != nil {
+			return err
+		}
+		emit("fig4", rep)
+	case "fig9":
+		rep, err := r.Fig9Throughput([]int{1, 4, 8})
+		if err != nil {
+			return err
+		}
+		emit("fig9", rep)
+	case "fig10":
+		for _, c := range []int{4, 8} {
+			for _, hs := range []bool{false, true} {
+				key := "mumama"
+				if hs {
+					key = "mumama-fair"
+				}
+				rep, err := r.FigPerWorkload(c, key, hs)
+				if err != nil {
+					return err
+				}
+				emit(fmt.Sprintf("fig10-%s-%dC", rep.MetricName, c), rep)
+			}
+		}
+	case "fig11":
+		drams := []sim.Config{}
+		for _, d := range []dram.Config{dram.DDR4(1866, 1), dram.DDR4(2400, 1), dram.DDR4(1866, 2), dram.DDR4(2400, 2)} {
+			cfg := sim.DefaultConfig(4)
+			cfg.DRAM = d
+			drams = append(drams, cfg)
+		}
+		rep, err := r.Fig11Bandwidth([]int{4, 8}, drams)
+		if err != nil {
+			return err
+		}
+		emit("fig11", rep)
+	case "fig12":
+		rep, err := r.FigTimeline("mumama")
+		if err != nil {
+			return err
+		}
+		emit("fig12", rep)
+	case "fig13":
+		rep, err := r.Fig13Fairness([]int{4, 8})
+		if err != nil {
+			return err
+		}
+		emit("fig13", rep)
+	case "fig14":
+		rep, err := r.Fig14Frontier(4)
+		if err != nil {
+			return err
+		}
+		emit("fig14", rep)
+	case "fig15a":
+		rep, err := r.Fig15aAblation(8)
+		if err != nil {
+			return err
+		}
+		emit("fig15a", rep)
+	case "fig15b":
+		rep, err := r.Fig15bJAVSweep(4, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		emit("fig15b", rep)
+	case "fig16":
+		rep, err := r.FigPerWorkload(8, "mumama-profiled", false)
+		if err != nil {
+			return err
+		}
+		emit("fig16", rep)
+	case "sec63":
+		rep, err := r.Fig63Characteristics(4, 2.5)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+	default:
+		return fmt.Errorf("unknown experiment id %q", id)
+	}
+	return nil
+}
+
+func printTable1() {
+	mm := core.DefaultMuMamaConfig()
+	bb := core.DefaultBanditConfig()
+	fmt.Println("Table 1: prefetcher parameters")
+	fmt.Printf("  Bandit: c=%g gamma=%g step=%d accesses; 64-entry stride/streamer\n", bb.C, bb.Gamma, bb.Step)
+	fmt.Printf("  µMama: step=%d theta_global=1-1.4/n k_step=%d\n", mm.Step, mm.KStep)
+	fmt.Printf("    local agents: c=%g gamma=%g\n", mm.LocalC, mm.LocalGamma)
+	fmt.Printf("    arbiter: c=%g gamma=%g T_arbit=%d\n", mm.ArbiterC, mm.ArbiterGamma, mm.TArbit)
+	fmt.Printf("    JAV cache: %d entries, gamma=%g (selection LCB=%g, a scaled-step stabilizer)\n",
+		mm.JAVSize, mm.JAVGamma, mm.JAVLCB)
+}
+
+func printTable2() {
+	fmt.Println("Table 2: Bandit arms")
+	fmt.Printf("%-6s %-9s %-12s %-12s\n", "arm", "next-line", "stride deg", "streamer deg")
+	for i, a := range prefetch.Arms {
+		nl := "no"
+		if a.NextLine {
+			nl = "yes"
+		}
+		fmt.Printf("%-6d %-9s %-12d %-12d\n", i, nl, a.StrideDeg, a.StreamDeg)
+	}
+}
+
+func printTable3() {
+	cfg := sim.DefaultConfig(8)
+	fmt.Println("Table 3: default system configuration")
+	fmt.Printf("  CPU: %d cores, 4 GHz, commit width %d, ROB %d, MLP %d\n",
+		cfg.Cores, cfg.CommitWidth, cfg.ROB, cfg.MLP)
+	fmt.Printf("  L1D: %d KB (%dx%d), %d-cycle hit, ip_stride prefetcher\n",
+		cfg.L1D.SizeBytes()>>10, cfg.L1D.Sets, cfg.L1D.Ways, cfg.L1D.HitLatency)
+	fmt.Printf("  L2:  %d KB (%dx%d), %d-cycle hit, experiment-specific prefetcher\n",
+		cfg.L2.SizeBytes()>>10, cfg.L2.Sets, cfg.L2.Ways, cfg.L2.HitLatency)
+	fmt.Printf("  LLC: %d KB shared (%dx%d), %d-cycle hit\n",
+		cfg.LLC.SizeBytes()>>10, cfg.LLC.Sets, cfg.LLC.Ways, cfg.LLC.HitLatency)
+	fmt.Printf("  DRAM: %s, %.1f GB/s peak\n", cfg.DRAM.Name, cfg.DRAM.PeakGBps())
+}
+
+func printOverheads() {
+	fmt.Println("µMama design overheads (§4.4)")
+	for _, o := range []core.Overheads{
+		core.ComputeOverheads(8, 2, 150_000),
+		core.ComputeOverheads(40, 64, 150_000),
+	} {
+		fmt.Printf("  %d cores, %d-entry JAV: aField %d bits, storage %d bits (%d bytes); "+
+			"%d B/agent/step (%d B critical path); %.1f MB/s total at %d-cycle steps\n",
+			o.Cores, o.JAVEntries, o.AFieldBits, o.JAVBits, o.JAVBytes,
+			o.PerStepBytes, o.CriticalBytes, o.TotalDataRateMBs, o.TimestepCycles)
+	}
+}

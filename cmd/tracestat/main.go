@@ -1,0 +1,171 @@
+// Command tracestat analyzes an instruction trace — a catalog name or a
+// binary MMT1 file — and prints the characteristics the paper's
+// methodology cares about: memory-instruction ratio, load/store split,
+// working-set footprint, stride regularity, and an estimated
+// no-prefetch L2 MPKI (distinct lines touched outside a recent-reuse
+// window).
+//
+// Usage:
+//
+//	tracestat spec06.libquantum
+//	tracestat -n 2000000 path/to/trace.mmt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"micromama/internal/trace"
+	"micromama/internal/workload"
+)
+
+func main() {
+	n := flag.Uint64("n", 1_000_000, "instructions to analyze")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "tracestat: name one trace (catalog name or .mmt file)")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+
+	var r trace.Reader
+	if sp, err := workload.ByName(name); err == nil {
+		r = sp.New()
+	} else {
+		ft, ferr := trace.OpenFile(name)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "tracestat: %q is neither a catalog trace (%v) nor a trace file (%v)\n",
+				name, err, ferr)
+			os.Exit(2)
+		}
+		defer ft.Close()
+		r = trace.NewLooping(ft)
+	}
+
+	st := Analyze(r, *n)
+	st.Print(os.Stdout)
+}
+
+// Stats summarizes a trace prefix.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Dependent    uint64 // pointer-chase loads
+
+	DistinctLines uint64
+	FootprintMB   float64
+
+	// EstMPKI estimates no-prefetch L2 misses per kilo-instruction:
+	// accesses to lines not seen within the last ~16K distinct lines
+	// (≈1 MB of L2 reach).
+	EstMPKI float64
+
+	// TopStrides are the most common byte strides between consecutive
+	// memory accesses of the same PC.
+	TopStrides []StrideCount
+	// StrideRegularity is the fraction of same-PC accesses whose stride
+	// repeats the previous one.
+	StrideRegularity float64
+}
+
+// StrideCount is one stride histogram bucket.
+type StrideCount struct {
+	Stride int64
+	Count  uint64
+}
+
+// Analyze scans up to n instructions of r.
+func Analyze(r trace.Reader, n uint64) Stats {
+	var st Stats
+	lines := map[uint64]bool{}
+
+	// Recent-reuse window as a ring over line addresses (~16K lines).
+	const window = 16384
+	recent := map[uint64]uint64{} // line -> last access index
+	var misses uint64
+
+	lastByPC := map[uint64]uint64{}
+	strideByPC := map[uint64]int64{}
+	strideHist := map[int64]uint64{}
+	var strideRepeats, strideSamples uint64
+
+	var accessIdx uint64
+	for st.Instructions < n {
+		ins, ok := r.Next()
+		if !ok {
+			break
+		}
+		st.Instructions++
+		if ins.Kind == trace.Other {
+			continue
+		}
+		if ins.Kind == trace.Load {
+			st.Loads++
+			if ins.Flags&trace.DependsPrev != 0 {
+				st.Dependent++
+			}
+		} else {
+			st.Stores++
+		}
+		line := ins.Addr &^ 63
+		lines[line] = true
+		accessIdx++
+		if last, seen := recent[line]; !seen || accessIdx-last > window {
+			misses++
+		}
+		recent[line] = accessIdx
+		if len(recent) > 4*window {
+			for k, v := range recent {
+				if accessIdx-v > window {
+					delete(recent, k)
+				}
+			}
+		}
+
+		if last, ok := lastByPC[ins.PC]; ok {
+			stride := int64(ins.Addr) - int64(last)
+			strideHist[stride]++
+			strideSamples++
+			if stride == strideByPC[ins.PC] {
+				strideRepeats++
+			}
+			strideByPC[ins.PC] = stride
+		}
+		lastByPC[ins.PC] = ins.Addr
+	}
+
+	st.DistinctLines = uint64(len(lines))
+	st.FootprintMB = float64(st.DistinctLines) * 64 / (1 << 20)
+	if st.Instructions > 0 {
+		st.EstMPKI = float64(misses) * 1000 / float64(st.Instructions)
+	}
+	if strideSamples > 0 {
+		st.StrideRegularity = float64(strideRepeats) / float64(strideSamples)
+	}
+	for s, c := range strideHist {
+		st.TopStrides = append(st.TopStrides, StrideCount{s, c})
+	}
+	sort.Slice(st.TopStrides, func(i, j int) bool { return st.TopStrides[i].Count > st.TopStrides[j].Count })
+	if len(st.TopStrides) > 5 {
+		st.TopStrides = st.TopStrides[:5]
+	}
+	return st
+}
+
+// Print renders the stats.
+func (st Stats) Print(w *os.File) {
+	mem := st.Loads + st.Stores
+	fmt.Fprintf(w, "instructions:      %d\n", st.Instructions)
+	fmt.Fprintf(w, "memory ratio:      %.1f%% (%d loads, %d stores, %d dependent)\n",
+		100*float64(mem)/float64(st.Instructions), st.Loads, st.Stores, st.Dependent)
+	fmt.Fprintf(w, "footprint:         %.1f MB (%d distinct lines)\n", st.FootprintMB, st.DistinctLines)
+	fmt.Fprintf(w, "est. L2 MPKI:      %.1f (no prefetching)\n", st.EstMPKI)
+	fmt.Fprintf(w, "stride regularity: %.0f%%\n", st.StrideRegularity*100)
+	fmt.Fprintf(w, "top strides:\n")
+	for _, s := range st.TopStrides {
+		fmt.Fprintf(w, "  %+8d bytes: %d\n", s.Stride, s.Count)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+
+	"micromama/internal/trace"
+)
+
+func TestAnalyzeStream(t *testing.T) {
+	s := trace.NewStream("s", trace.StreamConfig{Seed: 1, Streams: 1, MemRatio: 0.5, Length: 100_000})
+	st := Analyze(s, 100_000)
+	if st.Instructions != 100_000 {
+		t.Fatalf("analyzed %d instructions", st.Instructions)
+	}
+	mem := st.Loads + st.Stores
+	ratio := float64(mem) / float64(st.Instructions)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("memory ratio %.2f, want ~0.5", ratio)
+	}
+	// Sequential 8B stream: the dominant stride is +8.
+	if len(st.TopStrides) == 0 || st.TopStrides[0].Stride != 8 {
+		t.Errorf("top stride = %+v, want +8", st.TopStrides)
+	}
+	if st.StrideRegularity < 0.9 {
+		t.Errorf("stride regularity %.2f for a perfect stream", st.StrideRegularity)
+	}
+	// 50k accesses x 8B = 400 KB of footprint, ~6250 lines.
+	if st.DistinctLines < 5000 || st.DistinctLines > 8000 {
+		t.Errorf("distinct lines = %d", st.DistinctLines)
+	}
+}
+
+func TestAnalyzeChaseDependence(t *testing.T) {
+	c := trace.NewChase("c", trace.ChaseConfig{Seed: 2, MemRatio: 0.4, LocalRatio: 0.5, Length: 50_000})
+	st := Analyze(c, 50_000)
+	if st.Dependent == 0 {
+		t.Error("chase trace shows no dependent loads")
+	}
+	if st.EstMPKI < 10 {
+		t.Errorf("est MPKI %.1f for a pointer chase, want high", st.EstMPKI)
+	}
+}
+
+func TestAnalyzeComputeLowMPKI(t *testing.T) {
+	c := trace.NewCompute("k", trace.ComputeConfig{Seed: 3, WorkingSet: 64 << 10, MemRatio: 0.2, Length: 200_000})
+	st := Analyze(c, 200_000)
+	// 64 KB working set = 1024 lines, well inside the reuse window.
+	if st.EstMPKI > 6 {
+		t.Errorf("est MPKI %.1f for cache-resident code, want ~0", st.EstMPKI)
+	}
+}
+
+func TestAnalyzeStopsAtN(t *testing.T) {
+	s := trace.NewStream("s", trace.StreamConfig{Seed: 1, MemRatio: 0.3, Length: 1 << 40})
+	st := Analyze(s, 1234)
+	if st.Instructions != 1234 {
+		t.Errorf("analyzed %d, want 1234", st.Instructions)
+	}
+}

@@ -1,0 +1,21 @@
+// Gametheory reproduces the paper's Figure 1 discussion (§2.2): two
+// independent reinforcement learners on a general-sum game converge to
+// the {Aggressive, Aggressive} Nash equilibrium, even though a
+// supervisor with a joint view finds a better social outcome. This is
+// the multicore-prefetching problem in miniature.
+package main
+
+import (
+	"fmt"
+
+	"micromama/internal/experiment"
+)
+
+func main() {
+	rep := experiment.PlayGame(4000, 11)
+	fmt.Print(rep)
+	fmt.Println()
+	fmt.Println("This is exactly the dynamic µMama addresses in multicores:")
+	fmt.Println("independent Bandit prefetchers converge to mutually aggressive")
+	fmt.Println("policies; the JAV cache gives the system a joint view.")
+}

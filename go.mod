@@ -1,0 +1,3 @@
+module micromama
+
+go 1.22

@@ -1,0 +1,194 @@
+// Package bandit implements the multi-armed bandit algorithms used by
+// Micro-MAMA: the Upper Confidence Bound (UCB) algorithm and its
+// discounted variant (DUCB) for time-varying environments.
+//
+// A DUCB agent tracks, per arm, a discounted play count n_i and a
+// discounted reward sum s_i. At each step every arm's statistics decay by
+// the discount factor gamma, and the chosen arm additionally accumulates
+// the observed reward. The arm played is the one maximizing
+//
+//	value(a_i) = s_i/n_i + c*sqrt(ln(T)/n_i)
+//
+// where T is the discounted total play count. Before any exploitation the
+// agent performs an initial exploration pass, playing each arm once.
+package bandit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config parameterizes a DUCB agent.
+type Config struct {
+	// Arms is the number of actions available to the agent.
+	Arms int
+	// C controls the exploration/exploitation tradeoff (the bonus weight).
+	C float64
+	// Gamma is the discount factor in (0, 1]. Gamma == 1 yields plain UCB.
+	Gamma float64
+	// InitOffset rotates the initial exploration order: the k-th
+	// exploration step plays arm (InitOffset + k) mod Arms. Giving each
+	// of several co-located agents a different offset de-correlates
+	// their exploration so the joint actions they produce are diverse.
+	InitOffset int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Arms < 1 {
+		return fmt.Errorf("bandit: Arms must be >= 1, got %d", c.Arms)
+	}
+	if c.C < 0 {
+		return fmt.Errorf("bandit: C must be >= 0, got %g", c.C)
+	}
+	if c.Gamma <= 0 || c.Gamma > 1 {
+		return fmt.Errorf("bandit: Gamma must be in (0, 1], got %g", c.Gamma)
+	}
+	return nil
+}
+
+// DUCB is a discounted upper-confidence-bound bandit agent.
+// The zero value is not usable; construct with New.
+type DUCB struct {
+	cfg     Config
+	n       []float64 // discounted play counts per arm
+	s       []float64 // discounted reward sums per arm
+	plays   []uint64  // raw (undiscounted) play counts, for introspection
+	initIdx int       // next arm to play during the initial exploration pass
+	steps   uint64    // total Update calls
+}
+
+// New constructs a DUCB agent. It panics if cfg is invalid, since an
+// invalid bandit configuration is a programming error, not a runtime
+// condition.
+func New(cfg Config) *DUCB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &DUCB{
+		cfg:   cfg,
+		n:     make([]float64, cfg.Arms),
+		s:     make([]float64, cfg.Arms),
+		plays: make([]uint64, cfg.Arms),
+	}
+}
+
+// Arms returns the number of arms.
+func (d *DUCB) Arms() int { return d.cfg.Arms }
+
+// Steps returns the number of completed Update calls.
+func (d *DUCB) Steps() uint64 { return d.steps }
+
+// Exploring reports whether the agent is still in its initial
+// exploration pass (some arm has never been played).
+func (d *DUCB) Exploring() bool { return d.initIdx < d.cfg.Arms }
+
+// Select returns the arm to play at the current step. During the initial
+// exploration pass arms are played round-robin (rotated by InitOffset);
+// afterwards the highest-value arm is chosen (ties broken toward the
+// lowest index).
+func (d *DUCB) Select() int {
+	if d.initIdx < d.cfg.Arms {
+		return (d.initIdx + d.cfg.InitOffset) % d.cfg.Arms
+	}
+	best, bestVal := 0, math.Inf(-1)
+	t := d.total()
+	logT := math.Log(math.Max(t, math.E)) // keep the bonus non-negative
+	for i := range d.n {
+		v := d.value(i, logT)
+		if v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}
+
+// Value returns the current UCB value of arm i (mean + exploration
+// bonus). Arms never played have +Inf value.
+func (d *DUCB) Value(i int) float64 {
+	t := d.total()
+	return d.value(i, math.Log(math.Max(t, math.E)))
+}
+
+func (d *DUCB) value(i int, logT float64) float64 {
+	if d.n[i] <= 0 {
+		return math.Inf(1)
+	}
+	return d.s[i]/d.n[i] + d.cfg.C*math.Sqrt(logT/d.n[i])
+}
+
+// Mean returns the discounted average reward of arm i, or 0 if the arm
+// has no weight.
+func (d *DUCB) Mean(i int) float64 {
+	if d.n[i] <= 0 {
+		return 0
+	}
+	return d.s[i] / d.n[i]
+}
+
+// Weight returns the discounted play count of arm i.
+func (d *DUCB) Weight(i int) float64 { return d.n[i] }
+
+// Plays returns the raw play count of arm i.
+func (d *DUCB) Plays(i int) uint64 { return d.plays[i] }
+
+// Update records the reward observed for playing arm. All arms decay by
+// gamma; the played arm accumulates the reward. Update also advances the
+// initial exploration pass.
+func (d *DUCB) Update(arm int, reward float64) {
+	if arm < 0 || arm >= d.cfg.Arms {
+		panic(fmt.Sprintf("bandit: Update arm %d out of range [0,%d)", arm, d.cfg.Arms))
+	}
+	g := d.cfg.Gamma
+	if g < 1 {
+		for i := range d.n {
+			d.n[i] *= g
+			d.s[i] *= g
+		}
+	}
+	d.n[arm]++
+	d.s[arm] += reward
+	d.plays[arm]++
+	d.steps++
+	if d.initIdx < d.cfg.Arms && arm == (d.initIdx+d.cfg.InitOffset)%d.cfg.Arms {
+		d.initIdx++
+	}
+}
+
+// total returns the discounted total play count across arms.
+func (d *DUCB) total() float64 {
+	var t float64
+	for _, v := range d.n {
+		t += v
+	}
+	return t
+}
+
+// BestMean returns the arm with the highest discounted mean reward and
+// that mean. It ignores exploration bonuses. Arms with zero weight lose
+// to any arm with weight.
+func (d *DUCB) BestMean() (arm int, mean float64) {
+	arm, mean = 0, math.Inf(-1)
+	for i := range d.n {
+		if d.n[i] <= 0 {
+			continue
+		}
+		if m := d.s[i] / d.n[i]; m > mean {
+			arm, mean = i, m
+		}
+	}
+	if math.IsInf(mean, -1) {
+		return 0, 0
+	}
+	return arm, mean
+}
+
+// Reset clears all learned state, returning the agent to its initial
+// exploration pass.
+func (d *DUCB) Reset() {
+	for i := range d.n {
+		d.n[i], d.s[i], d.plays[i] = 0, 0, 0
+	}
+	d.initIdx = 0
+	d.steps = 0
+}

@@ -1,0 +1,212 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"micromama/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{Arms: 2, C: 0.1, Gamma: 0.99}, true},
+		{Config{Arms: 1, C: 0, Gamma: 1}, true},
+		{Config{Arms: 0, C: 0.1, Gamma: 0.99}, false},
+		{Config{Arms: 2, C: -0.1, Gamma: 0.99}, false},
+		{Config{Arms: 2, C: 0.1, Gamma: 0}, false},
+		{Config{Arms: 2, C: 0.1, Gamma: 1.5}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) err=%v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid config did not panic")
+		}
+	}()
+	New(Config{Arms: 0, C: 1, Gamma: 1})
+}
+
+func TestInitialExplorationVisitsEveryArm(t *testing.T) {
+	d := New(Config{Arms: 5, C: 0.1, Gamma: 0.99})
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		if !d.Exploring() {
+			t.Fatalf("left exploration after %d plays", i)
+		}
+		a := d.Select()
+		seen[a] = true
+		d.Update(a, 1.0)
+	}
+	if d.Exploring() {
+		t.Error("still exploring after one pass")
+	}
+	if len(seen) != 5 {
+		t.Errorf("initial pass visited %d arms, want 5", len(seen))
+	}
+}
+
+func TestInitOffsetRotatesOrder(t *testing.T) {
+	d := New(Config{Arms: 5, C: 0.1, Gamma: 0.99, InitOffset: 3})
+	want := []int{3, 4, 0, 1, 2}
+	for i, w := range want {
+		a := d.Select()
+		if a != w {
+			t.Fatalf("exploration step %d selected arm %d, want %d", i, a, w)
+		}
+		d.Update(a, 1.0)
+	}
+}
+
+func TestConvergesToBestArm(t *testing.T) {
+	d := New(Config{Arms: 4, C: 0.01, Gamma: 0.999})
+	rewards := []float64{0.2, 0.9, 0.5, 0.4}
+	r := xrand.New(11)
+	for i := 0; i < 2000; i++ {
+		a := d.Select()
+		d.Update(a, rewards[a]+0.05*(r.Float64()-0.5))
+	}
+	if d.Plays(1) < 1500 {
+		t.Errorf("best arm played only %d/2000 times", d.Plays(1))
+	}
+	if arm, _ := d.BestMean(); arm != 1 {
+		t.Errorf("BestMean arm = %d, want 1", arm)
+	}
+}
+
+func TestDiscountingAdaptsToChange(t *testing.T) {
+	d := New(Config{Arms: 2, C: 0.05, Gamma: 0.95})
+	// Arm 0 is best for a while...
+	for i := 0; i < 300; i++ {
+		a := d.Select()
+		reward := 0.2
+		if a == 0 {
+			reward = 1.0
+		}
+		d.Update(a, reward)
+	}
+	if a := d.Select(); a != 0 {
+		t.Fatalf("pre-change best arm = %d, want 0", a)
+	}
+	// ...then the environment flips.
+	flipPlays := uint64(0)
+	for i := 0; i < 300; i++ {
+		a := d.Select()
+		reward := 0.2
+		if a == 1 {
+			reward = 1.0
+			flipPlays++
+		}
+		d.Update(a, reward)
+	}
+	if a := d.Select(); a != 1 {
+		t.Errorf("post-change best arm = %d, want 1 (played %d)", a, flipPlays)
+	}
+}
+
+func TestUndiscountedUCBKeepsFullHistory(t *testing.T) {
+	d := New(Config{Arms: 2, C: 0.1, Gamma: 1})
+	for i := 0; i < 100; i++ {
+		a := d.Select()
+		d.Update(a, float64(a))
+	}
+	total := d.Weight(0) + d.Weight(1)
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("undiscounted total weight = %g, want 100", total)
+	}
+}
+
+func TestValueInfiniteForUnplayed(t *testing.T) {
+	d := New(Config{Arms: 3, C: 0.1, Gamma: 0.99})
+	if !math.IsInf(d.Value(2), 1) {
+		t.Error("unplayed arm should have +Inf value")
+	}
+	if d.Mean(2) != 0 {
+		t.Error("unplayed arm mean should be 0")
+	}
+}
+
+func TestUpdateOutOfRangePanics(t *testing.T) {
+	d := New(Config{Arms: 2, C: 0.1, Gamma: 0.99})
+	defer func() {
+		if recover() == nil {
+			t.Error("Update with out-of-range arm did not panic")
+		}
+	}()
+	d.Update(5, 1)
+}
+
+func TestReset(t *testing.T) {
+	d := New(Config{Arms: 3, C: 0.1, Gamma: 0.99})
+	for i := 0; i < 10; i++ {
+		d.Update(d.Select(), 1)
+	}
+	d.Reset()
+	if !d.Exploring() || d.Steps() != 0 || d.Plays(0) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+// Property: the discounted mean of any arm stays within the range of
+// rewards it has observed.
+func TestQuickMeanWithinRewardRange(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		d := New(Config{Arms: 3, C: 0.1, Gamma: 0.97})
+		r := xrand.New(seed)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < int(steps)+10; i++ {
+			a := d.Select()
+			reward := r.Float64()*4 - 1
+			if reward < lo {
+				lo = reward
+			}
+			if reward > hi {
+				hi = reward
+			}
+			d.Update(a, reward)
+		}
+		for a := 0; a < 3; a++ {
+			if d.Weight(a) <= 0 {
+				continue
+			}
+			m := d.Mean(a)
+			if m < lo-1e-9 || m > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Select always returns a valid arm index.
+func TestQuickSelectInRange(t *testing.T) {
+	f := func(seed uint64, arms uint8) bool {
+		n := int(arms%16) + 1
+		d := New(Config{Arms: n, C: 0.1, Gamma: 0.99, InitOffset: int(seed % uint64(n))})
+		r := xrand.New(seed)
+		for i := 0; i < 100; i++ {
+			a := d.Select()
+			if a < 0 || a >= n {
+				return false
+			}
+			d.Update(a, r.Float64())
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

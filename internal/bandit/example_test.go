@@ -1,0 +1,23 @@
+package bandit_test
+
+import (
+	"fmt"
+
+	"micromama/internal/bandit"
+)
+
+func ExampleDUCB() {
+	// A two-armed bandit where arm 1 pays more: after the initial
+	// exploration pass the agent exploits arm 1.
+	d := bandit.New(bandit.Config{Arms: 2, C: 0.05, Gamma: 0.99})
+	rewards := []float64{0.2, 0.9}
+	for i := 0; i < 100; i++ {
+		arm := d.Select()
+		d.Update(arm, rewards[arm])
+	}
+	fmt.Println("best arm:", d.Select())
+	fmt.Println("arm 1 played more:", d.Plays(1) > d.Plays(0))
+	// Output:
+	// best arm: 1
+	// arm 1 played more: true
+}

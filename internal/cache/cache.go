@@ -1,0 +1,319 @@
+// Package cache implements the set-associative caches of the simulated
+// memory hierarchy: LRU replacement, dirty lines, prefetch bits for
+// usefulness accounting, and an in-flight (MSHR-like) tracker that lets
+// the synchronous timing model merge outstanding misses.
+//
+// The cache is a passive state container; the memory-hierarchy walk in
+// package sim decides when to look up, fill, and forward requests.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	Sets       int
+	Ways       int
+	LineBytes  uint64
+	HitLatency uint64 // cycles
+	MSHRs      int    // max distinct outstanding miss lines
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %s: Sets must be a positive power of two, got %d", c.Name, c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: Ways must be positive, got %d", c.Name, c.Ways)
+	}
+	if c.LineBytes == 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: LineBytes must be a positive power of two, got %d", c.Name, c.LineBytes)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache %s: MSHRs must be positive, got %d", c.Name, c.MSHRs)
+	}
+	return nil
+}
+
+// SizeBytes returns the data capacity of the configuration.
+func (c Config) SizeBytes() uint64 {
+	return uint64(c.Sets) * uint64(c.Ways) * c.LineBytes
+}
+
+// Stats aggregates per-level counters.
+type Stats struct {
+	Accesses       uint64 // demand accesses
+	Hits           uint64 // demand hits (including hits on in-flight lines)
+	Misses         uint64 // demand misses
+	Evictions      uint64
+	Writebacks     uint64 // dirty evictions
+	PrefetchFills  uint64 // lines filled by prefetch
+	PrefetchUseful uint64 // prefetched lines later hit by demand
+	PrefetchLate   uint64 // useful but demand arrived before the fill landed
+	PrefetchUnused uint64 // prefetched lines evicted untouched
+}
+
+// Delta returns s - prev, counter-wise.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Accesses:       s.Accesses - prev.Accesses,
+		Hits:           s.Hits - prev.Hits,
+		Misses:         s.Misses - prev.Misses,
+		Evictions:      s.Evictions - prev.Evictions,
+		Writebacks:     s.Writebacks - prev.Writebacks,
+		PrefetchFills:  s.PrefetchFills - prev.PrefetchFills,
+		PrefetchUseful: s.PrefetchUseful - prev.PrefetchUseful,
+		PrefetchLate:   s.PrefetchLate - prev.PrefetchLate,
+		PrefetchUnused: s.PrefetchUnused - prev.PrefetchUnused,
+	}
+}
+
+type line struct {
+	tag        uint64
+	lastUse    uint64 // LRU timestamp
+	valid      bool
+	dirty      bool
+	prefetched bool
+}
+
+// Victim describes a line displaced by a Fill.
+type Victim struct {
+	Addr  uint64 // line-aligned address of the evicted line
+	Dirty bool
+	Valid bool // false when an invalid way was used (no eviction)
+	// Prefetched is true when the victim was filled by a prefetch and
+	// never touched by demand (useless prefetch).
+	Prefetched bool
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg       Config
+	lines     []line // sets*ways, row-major by set
+	setMask   uint64
+	lineShift uint
+	stamp     uint64
+	stats     Stats
+
+	// inflight maps line address -> cycle at which the fill lands,
+	// emulating MSHRs for the synchronous timing walk. State (the line
+	// itself) is installed eagerly; timing consults this map.
+	inflight map[uint64]uint64
+}
+
+// New constructs a cache. It panics on invalid configuration (a
+// programming error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		lines:     make([]line, cfg.Sets*cfg.Ways),
+		setMask:   uint64(cfg.Sets - 1),
+		lineShift: shift,
+		inflight:  make(map[uint64]uint64, cfg.MSHRs*2),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineAddr aligns addr down to its cache line.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
+
+func (c *Cache) set(addr uint64) []line {
+	idx := (addr >> c.lineShift) & c.setMask
+	base := int(idx) * c.cfg.Ways
+	return c.lines[base : base+c.cfg.Ways]
+}
+
+// LookupResult describes the outcome of a Lookup.
+type LookupResult struct {
+	Hit bool
+	// WasPrefetched is true if the hit line was filled by a prefetch and
+	// this is the first demand touch (the bit is cleared by the lookup
+	// when demand is true).
+	WasPrefetched bool
+	// ReadyAt is non-zero if the line is present but still in flight;
+	// the requester must wait until this cycle.
+	ReadyAt uint64
+}
+
+// Lookup performs a demand (demand=true) or probe (demand=false) lookup
+// at cycle now. Demand lookups update LRU, stats, and prefetch-useful
+// accounting; probes are side-effect-free except for nothing at all.
+func (c *Cache) Lookup(addr uint64, now uint64, demand bool) LookupResult {
+	la := c.LineAddr(addr)
+	tag := la >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			var res LookupResult
+			res.Hit = true
+			if demand {
+				c.stamp++
+				set[i].lastUse = c.stamp
+				c.stats.Accesses++
+				c.stats.Hits++
+				if set[i].prefetched {
+					set[i].prefetched = false
+					res.WasPrefetched = true
+					c.stats.PrefetchUseful++
+				}
+			}
+			if ready, ok := c.inflight[la]; ok {
+				if ready > now {
+					res.ReadyAt = ready
+					if demand && res.WasPrefetched {
+						c.stats.PrefetchLate++
+					}
+				} else {
+					delete(c.inflight, la)
+				}
+			}
+			return res
+		}
+	}
+	if demand {
+		c.stats.Accesses++
+		c.stats.Misses++
+	}
+	return LookupResult{}
+}
+
+// Contains reports whether addr's line is present (no side effects).
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.LineAddr(addr)
+	tag := la >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs addr's line, evicting the LRU way if needed, and records
+// it as in flight until readyAt. prefetched marks the line for
+// usefulness accounting; dirty marks it modified (e.g. a store fill or a
+// writeback from above).
+func (c *Cache) Fill(addr uint64, readyAt uint64, prefetched, dirty bool) Victim {
+	la := c.LineAddr(addr)
+	tag := la >> c.lineShift
+	set := c.set(addr)
+	c.stamp++
+
+	// Already present (e.g. racing prefetch and demand): refresh flags.
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.stamp
+			if dirty {
+				set[i].dirty = true
+			}
+			return Victim{}
+		}
+	}
+
+	victimIdx := -1
+	for i := range set {
+		if !set[i].valid {
+			victimIdx = i
+			break
+		}
+	}
+	var v Victim
+	if victimIdx < 0 {
+		victimIdx = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[victimIdx].lastUse {
+				victimIdx = i
+			}
+		}
+		old := set[victimIdx]
+		v = Victim{Addr: old.tag << c.lineShift, Dirty: old.dirty, Valid: true, Prefetched: old.prefetched}
+		c.stats.Evictions++
+		if old.dirty {
+			c.stats.Writebacks++
+		}
+		if old.prefetched {
+			c.stats.PrefetchUnused++
+		}
+		delete(c.inflight, v.Addr)
+	}
+	set[victimIdx] = line{tag: tag, lastUse: c.stamp, valid: true, dirty: dirty, prefetched: prefetched}
+	if prefetched {
+		c.stats.PrefetchFills++
+	}
+	if readyAt > 0 {
+		c.pruneInflight(readyAt)
+		c.inflight[la] = readyAt
+	}
+	return v
+}
+
+// MarkDirty sets the dirty bit on addr's line if present (store hit).
+func (c *Cache) MarkDirty(addr uint64) {
+	la := c.LineAddr(addr)
+	tag := la >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// InflightCount returns the number of tracked outstanding fills (after
+// pruning entries that have completed by now).
+func (c *Cache) InflightCount(now uint64) int {
+	c.pruneInflight(now)
+	return len(c.inflight)
+}
+
+// MSHRFull reports whether a new distinct miss can be tracked at cycle
+// now.
+func (c *Cache) MSHRFull(now uint64) bool {
+	return c.InflightCount(now) >= c.cfg.MSHRs
+}
+
+// pruneInflight drops inflight entries that completed at or before now.
+// The map stays small (bounded by MSHRs in steady state) so a full scan
+// is fine.
+func (c *Cache) pruneInflight(now uint64) {
+	if len(c.inflight) < c.cfg.MSHRs {
+		return
+	}
+	for a, ready := range c.inflight {
+		if ready <= now {
+			delete(c.inflight, a)
+		}
+	}
+}
+
+// Invalidate drops addr's line if present, returning whether it was
+// dirty (caller may need to write it back).
+func (c *Cache) Invalidate(addr uint64) (wasDirty, wasValid bool) {
+	la := c.LineAddr(addr)
+	tag := la >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			wasDirty = set[i].dirty
+			set[i] = line{}
+			delete(c.inflight, la)
+			return wasDirty, true
+		}
+	}
+	return false, false
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"micromama/internal/bandit"
+	"micromama/internal/noc"
+	"micromama/internal/prefetch"
+	"micromama/internal/sim"
+)
+
+// DualMuMama implements the paper's §7 extension: the L1D and L2
+// prefetchers are controlled by *separate* local Bandit agents, and the
+// JAV cache stores {L1 pref, L2 pref} pairs instead of just the L2
+// actions. The global timestep remains L2-access driven (the paper
+// notes the timestep may need revising for the two levels' different
+// miss frequencies; the k_step cap already bounds the skew).
+//
+// The L1 action space is the ip_stride degree: {0, 1, 2, 4}.
+
+// L1Arms lists the ip_stride degrees available to the L1 agents.
+var L1Arms = [4]int{0, 1, 2, 4}
+
+// controllableL1 wraps the ip_stride engine with a switchable degree.
+type controllableL1 struct {
+	s   *prefetch.Stride
+	arm int
+}
+
+func newControllableL1() *controllableL1 {
+	s := prefetch.NewIPStride()
+	s.Degree = L1Arms[0]
+	return &controllableL1{s: s}
+}
+
+func (c *controllableL1) Name() string { return "ip_stride_ctl" }
+
+func (c *controllableL1) OnAccess(pc, addr uint64, hit bool, dst []uint64) []uint64 {
+	return c.s.OnAccess(pc, addr, hit, dst)
+}
+
+func (c *controllableL1) setArm(arm int) {
+	c.arm = arm
+	c.s.Degree = L1Arms[arm]
+}
+
+// DualMuMama coordinates 2n local agents (an L1 and an L2 agent per
+// core) under one arbiter and one JAV of {L2 arms..., L1 arms...}
+// joint actions.
+type DualMuMama struct {
+	cfg MuMamaConfig
+	sys *sim.System
+
+	l2Agents []*localAgent
+	l1Bandit []*bandit.DUCB
+	l1Engine []*controllableL1
+	l1Arm    []int
+
+	arb   *bandit.DUCB
+	jav   *JAV
+	theta float64
+
+	ready      []bool
+	readyCount int
+	globalStep uint64
+
+	lastMisses []uint64
+	lastUseful []uint64
+
+	arbAction    int
+	arbRewardSum float64
+	arbSteps     int
+	dictated     bool
+	sysEWMA      float64
+
+	jointSteps uint64
+	localSteps uint64
+}
+
+// NewDualMuMama constructs the L1+L2 controller; zero-valued fields of
+// cfg fall back to the paper's defaults.
+func NewDualMuMama(cfg MuMamaConfig) *DualMuMama {
+	// Reuse MuMama's defaulting.
+	cfg = NewMuMama(cfg).cfg
+	return &DualMuMama{cfg: cfg}
+}
+
+// Name implements sim.Controller.
+func (m *DualMuMama) Name() string { return m.cfg.Metric.String() + "-l1l2" }
+
+// Attach implements sim.Controller.
+func (m *DualMuMama) Attach(sys *sim.System) {
+	m.sys = sys
+	n := sys.Config().Cores
+	m.l2Agents = make([]*localAgent, n)
+	m.l1Bandit = make([]*bandit.DUCB, n)
+	m.l1Engine = make([]*controllableL1, n)
+	m.l1Arm = make([]int, n)
+	for i := 0; i < n; i++ {
+		m.l2Agents[i] = newLocalAgent(m.cfg.LocalC, m.cfg.LocalGamma, n, i)
+		m.l1Bandit[i] = bandit.New(bandit.Config{
+			Arms:       len(L1Arms),
+			C:          m.cfg.LocalC,
+			Gamma:      m.cfg.LocalGamma,
+			InitOffset: (i * 3) % len(L1Arms),
+		})
+		m.l1Engine[i] = newControllableL1()
+	}
+	m.arb = bandit.New(bandit.Config{Arms: 2, C: m.cfg.ArbiterC, Gamma: m.cfg.ArbiterGamma})
+	m.jav = NewJAVLCB(m.cfg.JAVSize, m.cfg.JAVGamma, m.cfg.JAVLCB)
+	m.theta = m.cfg.ThetaGlobal
+	if m.theta == 0 {
+		m.theta = 1 - 1.4/float64(n)
+	}
+	m.ready = make([]bool, n)
+	m.lastMisses = make([]uint64, n)
+	m.lastUseful = make([]uint64, n)
+	m.arbAction = arbActLocal
+}
+
+// Engine implements sim.Controller (the L2 engine).
+func (m *DualMuMama) Engine(core int) prefetch.Prefetcher { return m.l2Agents[core].engine }
+
+// L1Engine implements sim.L1Provider.
+func (m *DualMuMama) L1Engine(core int) prefetch.Prefetcher { return m.l1Engine[core] }
+
+// JAVCache exposes the JAV.
+func (m *DualMuMama) JAVCache() *JAV { return m.jav }
+
+// GlobalSteps returns completed global timesteps.
+func (m *DualMuMama) GlobalSteps() uint64 { return m.globalStep }
+
+// JointFraction returns the fraction of dictated timesteps.
+func (m *DualMuMama) JointFraction() float64 {
+	t := m.jointSteps + m.localSteps
+	if t == 0 {
+		return 0
+	}
+	return float64(m.jointSteps) / float64(t)
+}
+
+// OnL2Demand implements sim.Controller.
+func (m *DualMuMama) OnL2Demand(core int, now uint64) {
+	a := m.l2Agents[core]
+	a.accesses++
+	if !m.ready[core] && a.accesses >= m.cfg.Step {
+		m.ready[core] = true
+		m.readyCount++
+	}
+	n := len(m.l2Agents)
+	if m.readyCount*2 > n || a.accesses >= uint64(m.cfg.KStep)*m.cfg.Step {
+		m.advance(now)
+	}
+}
+
+func (m *DualMuMama) advance(now uint64) {
+	n := len(m.l2Agents)
+	m.globalStep++
+
+	r := make([]float64, n)
+	delta := make([]float64, n)
+	var deltaSum float64
+	for i, a := range m.l2Agents {
+		prevInstr := a.lastInstr
+		ipc := a.intervalIPC(m.sys, i)
+		r[i] = a.normalize(ipc, !m.dictated)
+		dInstr := a.lastInstr - prevInstr
+
+		st := m.sys.L2Stats(i)
+		dMiss := st.Misses - m.lastMisses[i]
+		dUseful := st.PrefetchUseful - m.lastUseful[i]
+		m.lastMisses[i], m.lastUseful[i] = st.Misses, st.PrefetchUseful
+		if dInstr > 0 {
+			delta[i] = float64(dMiss+dUseful) / float64(dInstr)
+		}
+		deltaSum += delta[i]
+	}
+	smp := make([]float64, n)
+	shat := make([]float64, n)
+	for i := range smp {
+		if deltaSum > 0 && n > 1 {
+			smp[i] = 1 - delta[i]/deltaSum
+		} else {
+			smp[i] = 1
+		}
+		shat[i] = smp[i] * r[i]
+	}
+	sysReward := m.cfg.Metric.Reward(shat)
+
+	// Joint action: L2 arms followed by L1 arms ({L1, L2} pairs, §7).
+	played := make(JointAction, 2*n)
+	for i, a := range m.l2Agents {
+		played[i] = uint8(a.curArm)
+		played[n+i] = uint8(m.l1Arm[i])
+	}
+	m.jav.Update(played, sysReward)
+
+	if m.sysEWMA == 0 {
+		m.sysEWMA = sysReward
+	} else {
+		m.sysEWMA = 0.95*m.sysEWMA + 0.05*sysReward
+	}
+	if !m.dictated {
+		for i, a := range m.l2Agents {
+			reward := r[i]
+			if !m.cfg.DisableGRW && m.cfg.Metric.Sensitivity(i, smp, shat) < m.theta && m.sysEWMA > 0 {
+				reward = sysReward / m.sysEWMA
+			}
+			a.d.Update(a.curArm, reward)
+			m.l1Bandit[i].Update(m.l1Arm[i], reward)
+		}
+	}
+
+	warm := true
+	for i := range m.l2Agents {
+		if m.l2Agents[i].d.Exploring() || m.l1Bandit[i].Exploring() {
+			warm = false
+			break
+		}
+	}
+	if warm {
+		m.arbRewardSum += sysReward
+		m.arbSteps++
+		if m.arbSteps >= m.cfg.TArbit {
+			m.arb.Update(m.arbAction, m.arbRewardSum/float64(m.arbSteps))
+			m.arbRewardSum, m.arbSteps = 0, 0
+			m.arbAction = m.arb.Select()
+		}
+	}
+
+	m.dictated = false
+	if warm && !m.cfg.DisableJAV && m.arbAction == arbActJoint {
+		if best := m.jav.Best(); best != nil && len(best) == 2*n {
+			m.dictated = true
+			for i := range m.l2Agents {
+				m.applyL2(i, int(best[i]))
+				m.applyL1(i, int(best[n+i]))
+			}
+		}
+	}
+	if !m.dictated {
+		for i := range m.l2Agents {
+			m.applyL2(i, m.l2Agents[i].d.Select())
+			m.applyL1(i, m.l1Bandit[i].Select())
+		}
+	}
+	if m.dictated {
+		m.jointSteps++
+	} else {
+		m.localSteps++
+	}
+
+	net := m.sys.Network()
+	net.CriticalPath(now)
+	net.Broadcast(now, noc.PerStepBytes, n)
+
+	for i := range m.ready {
+		m.ready[i] = false
+		m.l2Agents[i].accesses = 0
+	}
+	m.readyCount = 0
+}
+
+func (m *DualMuMama) applyL2(core, arm int) {
+	a := m.l2Agents[core]
+	if arm != a.curArm {
+		a.curArm = arm
+		a.engine.SetArm(arm)
+	}
+}
+
+func (m *DualMuMama) applyL1(core, arm int) {
+	if arm != m.l1Arm[core] {
+		m.l1Arm[core] = arm
+		m.l1Engine[core].setArm(arm)
+	}
+}

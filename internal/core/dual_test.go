@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"micromama/internal/sim"
+)
+
+func TestDualMuMamaRuns(t *testing.T) {
+	cfg := DefaultMuMamaConfig()
+	cfg.Step = 100
+	m := NewDualMuMama(cfg)
+	sys, err := sim.New(sim.DefaultConfig(2), tinyTraces(t, 2), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(400_000, 8_000_000)
+	if m.GlobalSteps() < 10 {
+		t.Fatalf("only %d global steps", m.GlobalSteps())
+	}
+	for i, cr := range res.Cores {
+		if cr.Instructions == 0 {
+			t.Errorf("core %d retired nothing", i)
+		}
+	}
+	if m.Name() != "µmama-WS-l1l2" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestDualMuMamaJointActionsArePairs(t *testing.T) {
+	cfg := DefaultMuMamaConfig()
+	cfg.Step = 100
+	m := NewDualMuMama(cfg)
+	sys, err := sim.New(sim.DefaultConfig(2), tinyTraces(t, 2), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(300_000, 6_000_000)
+	for _, e := range m.JAVCache().Entries() {
+		if len(e.Action) != 4 { // 2 L2 arms + 2 L1 arms
+			t.Fatalf("joint action arity %d, want 4 ({L1,L2} pairs per core)", len(e.Action))
+		}
+		for i, a := range e.Action {
+			limit := 17
+			if i >= 2 { // L1 half
+				limit = len(L1Arms)
+			}
+			if int(a) >= limit {
+				t.Fatalf("entry %v: position %d arm %d out of range %d", e.Action, i, a, limit)
+			}
+		}
+	}
+}
+
+func TestDualMuMamaControlsL1(t *testing.T) {
+	// The L1 engines must actually be the controller's, not the default.
+	cfg := DefaultMuMamaConfig()
+	cfg.Step = 100
+	m := NewDualMuMama(cfg)
+	sys, err := sim.New(sim.DefaultConfig(2), tinyTraces(t, 2), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(200_000, 4_000_000)
+	if m.L1Engine(0).Name() != "ip_stride_ctl" {
+		t.Errorf("L1 engine = %q", m.L1Engine(0).Name())
+	}
+	// L1 arms should have been exercised during initial exploration.
+	var played uint64
+	for a := 0; a < len(L1Arms); a++ {
+		played += m.l1Bandit[0].Plays(a)
+	}
+	if played == 0 {
+		t.Error("L1 agent never played")
+	}
+}
+
+func TestL1ArmsZeroDisables(t *testing.T) {
+	c := newControllableL1()
+	c.setArm(0)
+	// Train a perfect stride pattern; degree 0 must stay silent.
+	for i := 0; i < 10; i++ {
+		if got := c.OnAccess(0x40, uint64(0x1000+i*256), false, nil); len(got) != 0 {
+			t.Fatalf("L1 arm 0 issued %#x", got)
+		}
+	}
+	c.setArm(3) // degree 4
+	if got := c.OnAccess(0x40, 0x1000+10*256, false, nil); len(got) == 0 {
+		t.Error("L1 arm 3 (degree 4) issued nothing on a trained stride")
+	}
+}

@@ -1,0 +1,28 @@
+package core_test
+
+import (
+	"fmt"
+
+	"micromama/internal/core"
+)
+
+func ExampleJAV() {
+	// Track two joint actions; the cache keeps the better one when a
+	// third arrives and dictates the best.
+	jav := core.NewJAV(2, 1.0)
+	jav.Update(core.JointAction{0, 14}, 1.10) // heavy core off, stream aggressive
+	jav.Update(core.JointAction{16, 16}, 0.85)
+	jav.Update(core.JointAction{2, 2}, 0.90) // beats the worst entry
+	fmt.Println("best:", jav.Best())
+	fmt.Printf("reward: %.2f\n", jav.BestReward())
+	// Output:
+	// best: [0 14]
+	// reward: 1.10
+}
+
+func ExampleComputeOverheads() {
+	// The paper's 8-core configuration (§4.4.1).
+	o := core.ComputeOverheads(8, 2, 150_000)
+	fmt.Printf("JAV: %d bits (%d bytes), aField %d bits\n", o.JAVBits, o.JAVBytes, o.AFieldBits)
+	// Output: JAV: 336 bits (42 bytes), aField 40 bits
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SetAssocJAV is the scaled-up JAV organization of §4.2.3: when larger
+// JAV caches are needed (small step sizes, large action spaces), full
+// associativity and whole-cache comparisons become expensive. The
+// set-associative variant:
+//
+//   - indexes sets by a hash mixing bits from the *entire* aField, so
+//     the set depends on the policies of all cores;
+//   - tags entries with the full joint action;
+//   - evicts the lowest-rField entry within the set only (fewer
+//     comparators);
+//   - maintains a copy of the best-performing entry so selection needs
+//     no cache-wide comparison — on every update it only checks whether
+//     the updated entry surpasses the stored best.
+//
+// Like JAV, selection can apply a lower-confidence-bound penalty.
+type SetAssocJAV struct {
+	sets    [][]javEntry
+	gamma   float64
+	lcb     float64
+	setMask uint64
+
+	// Cached best entry (a copy, refreshed opportunistically).
+	bestAction JointAction
+	bestScore  float64
+	bestValid  bool
+
+	Inserts   uint64
+	Evictions uint64
+	Rejects   uint64
+}
+
+// NewSetAssocJAV constructs a set-associative JAV with the given number
+// of sets (power of two), ways, discount, and selection LCB.
+func NewSetAssocJAV(sets, ways int, gamma, lcb float64) *SetAssocJAV {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("core: JAV sets must be a positive power of two, got %d", sets))
+	}
+	if ways < 1 {
+		panic(fmt.Sprintf("core: JAV ways must be >= 1, got %d", ways))
+	}
+	if gamma <= 0 || gamma > 1 {
+		panic(fmt.Sprintf("core: JAV gamma must be in (0,1], got %g", gamma))
+	}
+	if lcb < 0 {
+		panic(fmt.Sprintf("core: JAV lcb must be >= 0, got %g", lcb))
+	}
+	j := &SetAssocJAV{gamma: gamma, lcb: lcb, setMask: uint64(sets - 1)}
+	j.sets = make([][]javEntry, sets)
+	for i := range j.sets {
+		j.sets[i] = make([]javEntry, ways)
+	}
+	return j
+}
+
+// hash mixes bits from throughout the aField so the set index depends
+// on every core's policy (§4.2.3).
+func (j *SetAssocJAV) hash(action JointAction) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, a := range action {
+		h ^= uint64(a)
+		h *= 1099511628211
+	}
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h & j.setMask
+}
+
+func (j *SetAssocJAV) score(e *javEntry) float64 {
+	if e.n <= 0 {
+		return 0
+	}
+	return e.s/e.n - j.lcb/math.Sqrt(e.n)
+}
+
+// Cap returns the total capacity in entries.
+func (j *SetAssocJAV) Cap() int { return len(j.sets) * len(j.sets[0]) }
+
+// Len returns the number of resident entries.
+func (j *SetAssocJAV) Len() int {
+	n := 0
+	for _, set := range j.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Best returns the cached best joint action (nil when empty).
+func (j *SetAssocJAV) Best() JointAction {
+	if !j.bestValid {
+		return nil
+	}
+	return j.bestAction
+}
+
+// BestReward returns the cached best entry's selection score.
+func (j *SetAssocJAV) BestReward() float64 {
+	if !j.bestValid {
+		return 0
+	}
+	return j.bestScore
+}
+
+// Lookup returns the rField for action, if resident.
+func (j *SetAssocJAV) Lookup(action JointAction) (float64, bool) {
+	set := j.sets[j.hash(action)]
+	for i := range set {
+		if set[i].valid && set[i].action.Equal(action) {
+			return set[i].mean(), true
+		}
+	}
+	return 0, false
+}
+
+// Update records one timestep of the given action with its system
+// reward. All entries decay; the action's entry is refreshed or
+// inserted, evicting the worst entry in its set if it beats it. The
+// best-entry copy is maintained with set-local comparisons only.
+func (j *SetAssocJAV) Update(action JointAction, reward float64) {
+	// Decay everything (and the cached best's score along with it; the
+	// score of a discounted-average entry is invariant under uniform
+	// decay except for the confidence term, which only shrinks —
+	// conservatively recompute lazily below).
+	for _, set := range j.sets {
+		for i := range set {
+			if set[i].valid {
+				set[i].n *= j.gamma
+				set[i].s *= j.gamma
+			}
+		}
+	}
+
+	set := j.sets[j.hash(action)]
+	idx, freeIdx, worstIdx := -1, -1, -1
+	worst := 0.0
+	for i := range set {
+		e := &set[i]
+		if !e.valid {
+			if freeIdx < 0 {
+				freeIdx = i
+			}
+			continue
+		}
+		if e.action.Equal(action) {
+			idx = i
+		}
+		if worstIdx < 0 || e.mean() < worst {
+			worstIdx, worst = i, e.mean()
+		}
+	}
+
+	var updated *javEntry
+	switch {
+	case idx >= 0:
+		set[idx].n++
+		set[idx].s += reward
+		updated = &set[idx]
+	case freeIdx >= 0:
+		set[freeIdx] = javEntry{action: action.Clone(), n: 1, s: reward, valid: true}
+		j.Inserts++
+		updated = &set[freeIdx]
+	case reward > worst:
+		evictingBest := j.bestValid && set[worstIdx].action.Equal(j.bestAction)
+		set[worstIdx] = javEntry{action: action.Clone(), n: 1, s: reward, valid: true}
+		j.Inserts++
+		j.Evictions++
+		updated = &set[worstIdx]
+		if evictingBest {
+			j.recomputeBest()
+		}
+	default:
+		j.Rejects++
+		return
+	}
+
+	// Maintain the best-entry copy: only the updated entry can surpass
+	// it; if the updated entry IS the best, refresh its score (it may
+	// have dropped, requiring a recompute).
+	s := j.score(updated)
+	switch {
+	case !j.bestValid || s > j.bestScore:
+		j.bestValid = true
+		j.bestAction = updated.action.Clone()
+		j.bestScore = s
+	case j.bestValid && updated.action.Equal(j.bestAction):
+		if s < j.bestScore {
+			j.recomputeBest()
+		} else {
+			j.bestScore = s
+		}
+	}
+}
+
+// recomputeBest performs the rare full scan (best entry evicted or its
+// score dropped).
+func (j *SetAssocJAV) recomputeBest() {
+	j.bestValid = false
+	j.bestScore = 0
+	for _, set := range j.sets {
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			if s := j.score(&set[i]); !j.bestValid || s > j.bestScore {
+				j.bestValid = true
+				j.bestAction = set[i].action.Clone()
+				j.bestScore = s
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"micromama/internal/xrand"
+)
+
+func TestSetAssocJAVBasics(t *testing.T) {
+	j := NewSetAssocJAV(4, 2, 1.0, 0)
+	if j.Cap() != 8 || j.Len() != 0 {
+		t.Fatalf("Cap/Len = %d/%d", j.Cap(), j.Len())
+	}
+	j.Update(ja(1, 2), 0.5)
+	j.Update(ja(3, 4), 0.9)
+	if r, ok := j.Lookup(ja(1, 2)); !ok || r != 0.5 {
+		t.Errorf("Lookup = %g,%v", r, ok)
+	}
+	if best := j.Best(); !best.Equal(ja(3, 4)) {
+		t.Errorf("Best = %v", best)
+	}
+}
+
+func TestSetAssocJAVSetLocalEviction(t *testing.T) {
+	// 1 set x 2 ways behaves like a tiny fully-associative cache.
+	j := NewSetAssocJAV(1, 2, 1.0, 0)
+	j.Update(ja(1), 0.5)
+	j.Update(ja(2), 0.8)
+	j.Update(ja(3), 0.6) // beats worst (0.5) -> evicts [1]
+	if _, ok := j.Lookup(ja(1)); ok {
+		t.Error("worst entry survived")
+	}
+	j.Update(ja(4), 0.1) // worse than everything -> rejected
+	if _, ok := j.Lookup(ja(4)); ok {
+		t.Error("worse-than-all entry inserted")
+	}
+	if j.Rejects != 1 || j.Evictions != 1 {
+		t.Errorf("rejects=%d evictions=%d", j.Rejects, j.Evictions)
+	}
+}
+
+func TestSetAssocJAVBestTracksEviction(t *testing.T) {
+	j := NewSetAssocJAV(1, 2, 1.0, 0)
+	j.Update(ja(1), 0.9) // best
+	j.Update(ja(2), 0.5)
+	// Repeatedly degrade the best entry until another surpasses it.
+	for i := 0; i < 20; i++ {
+		j.Update(ja(1), 0.1)
+	}
+	if best := j.Best(); !best.Equal(ja(2)) {
+		t.Errorf("best copy stale: %v (reward %g)", best, j.BestReward())
+	}
+}
+
+func TestSetAssocJAVHashMixesAllCores(t *testing.T) {
+	j := NewSetAssocJAV(16, 1, 1.0, 0)
+	// Changing only the LAST core's arm must (usually) change the set.
+	base := ja(1, 1, 1, 1, 1, 1, 1, 1)
+	diff := 0
+	for a := uint8(0); a < 16; a++ {
+		other := base.Clone()
+		other[7] = a
+		if j.hash(base) != j.hash(other) {
+			diff++
+		}
+	}
+	if diff < 8 {
+		t.Errorf("last-core changes moved the set only %d/16 times; hash not mixing", diff)
+	}
+}
+
+// Property: the set-associative JAV with 1xN geometry and the fully
+// associative JAV of size N agree on Lookup for every update sequence
+// (same eviction policy within one set).
+func TestQuickSetAssocMatchesFullyAssociative(t *testing.T) {
+	f := func(seed uint64) bool {
+		fa := NewJAV(3, 0.99)
+		sa := NewSetAssocJAV(1, 3, 0.99, 0)
+		r := xrand.New(seed)
+		for i := 0; i < 150; i++ {
+			action := ja(uint8(r.Intn(5)))
+			reward := r.Float64()
+			fa.Update(action, reward)
+			sa.Update(action, reward)
+		}
+		for a := uint8(0); a < 5; a++ {
+			fr, fok := fa.Lookup(ja(a))
+			sr, sok := sa.Lookup(ja(a))
+			if fok != sok {
+				return false
+			}
+			if fok && (fr-sr > 1e-9 || sr-fr > 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the cached best always has the maximal selection score.
+func TestQuickSetAssocBestIsMax(t *testing.T) {
+	f := func(seed uint64) bool {
+		j := NewSetAssocJAV(4, 2, 0.98, 0.1)
+		r := xrand.New(seed)
+		for i := 0; i < 200; i++ {
+			j.Update(ja(uint8(r.Intn(6)), uint8(r.Intn(6))), r.Float64())
+			best := j.Best()
+			if best == nil {
+				return false
+			}
+			// No resident entry may beat the cached best's score.
+			bestScore := j.BestReward()
+			for _, set := range j.sets {
+				for k := range set {
+					if set[k].valid && j.score(&set[k]) > bestScore+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAssocJAVConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSetAssocJAV(3, 2, 0.9, 0) },
+		func() { NewSetAssocJAV(0, 2, 0.9, 0) },
+		func() { NewSetAssocJAV(2, 0, 0.9, 0) },
+		func() { NewSetAssocJAV(2, 2, 0, 0) },
+		func() { NewSetAssocJAV(2, 2, 0.9, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

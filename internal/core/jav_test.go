@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"micromama/internal/xrand"
+)
+
+func ja(arms ...uint8) JointAction { return JointAction(arms) }
+
+func TestJointAction(t *testing.T) {
+	a := ja(1, 2, 3)
+	b := a.Clone()
+	b[0] = 9
+	if a[0] == 9 {
+		t.Error("Clone aliases the original")
+	}
+	if !a.Equal(ja(1, 2, 3)) || a.Equal(ja(1, 2)) || a.Equal(ja(1, 2, 4)) {
+		t.Error("Equal semantics wrong")
+	}
+	if a.String() != "[1 2 3]" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestJAVInsertAndBest(t *testing.T) {
+	j := NewJAV(2, 1.0)
+	j.Update(ja(1, 1), 0.5)
+	j.Update(ja(2, 2), 0.8)
+	if best := j.Best(); !best.Equal(ja(2, 2)) {
+		t.Errorf("Best = %v, want [2 2]", best)
+	}
+	if r := j.BestReward(); math.Abs(r-0.8) > 1e-12 {
+		t.Errorf("BestReward = %g", r)
+	}
+	if j.Len() != 2 || j.Cap() != 2 {
+		t.Errorf("Len/Cap = %d/%d", j.Len(), j.Cap())
+	}
+}
+
+func TestJAVEvictsWorst(t *testing.T) {
+	j := NewJAV(2, 1.0)
+	j.Update(ja(1, 1), 0.5)
+	j.Update(ja(2, 2), 0.8)
+	// Better than the worst (0.5): evicts [1 1].
+	j.Update(ja(3, 3), 0.6)
+	if _, ok := j.Lookup(ja(1, 1)); ok {
+		t.Error("worst entry not evicted")
+	}
+	if _, ok := j.Lookup(ja(3, 3)); !ok {
+		t.Error("new entry not inserted")
+	}
+	if j.Evictions != 1 {
+		t.Errorf("Evictions = %d", j.Evictions)
+	}
+}
+
+func TestJAVRejectsWorseThanAll(t *testing.T) {
+	j := NewJAV(2, 1.0)
+	j.Update(ja(1, 1), 0.5)
+	j.Update(ja(2, 2), 0.8)
+	j.Update(ja(3, 3), 0.2) // worse than every resident entry
+	if _, ok := j.Lookup(ja(3, 3)); ok {
+		t.Error("worse-than-all entry was inserted (paper §4.2.2 forbids)")
+	}
+	if j.Rejects != 1 {
+		t.Errorf("Rejects = %d", j.Rejects)
+	}
+}
+
+func TestJAVUpdateExistingAverages(t *testing.T) {
+	j := NewJAV(2, 1.0)
+	j.Update(ja(1, 1), 0.4)
+	j.Update(ja(1, 1), 0.8)
+	r, ok := j.Lookup(ja(1, 1))
+	if !ok || math.Abs(r-0.6) > 1e-12 {
+		t.Errorf("mean = %g, want 0.6", r)
+	}
+}
+
+func TestJAVDiscounting(t *testing.T) {
+	// With gamma < 1, a stale high reward decays relative to fresh ones.
+	j := NewJAV(2, 0.5)
+	j.Update(ja(1, 1), 1.0)
+	for i := 0; i < 10; i++ {
+		j.Update(ja(2, 2), 0.6)
+	}
+	// [1 1]'s weight has decayed by 0.5^10; the mean is unchanged but
+	// the discounted count is tiny.
+	entries := j.Entries()
+	for _, e := range entries {
+		if e.Action.Equal(ja(1, 1)) && e.Weight > 0.01 {
+			t.Errorf("stale entry weight = %g, want decayed", e.Weight)
+		}
+	}
+}
+
+func TestJAVLCBPenalizesSingleSamples(t *testing.T) {
+	j := NewJAVLCB(2, 1.0, 0.5)
+	// A well-established decent entry vs a single lucky sample.
+	for i := 0; i < 50; i++ {
+		j.Update(ja(1, 1), 0.7)
+	}
+	j.Update(ja(2, 2), 0.9) // lucky one-off
+	if best := j.Best(); !best.Equal(ja(1, 1)) {
+		t.Errorf("LCB Best = %v, want the established [1 1]", best)
+	}
+	// Plain argmax would have picked the lucky one.
+	j2 := NewJAV(2, 1.0)
+	for i := 0; i < 50; i++ {
+		j2.Update(ja(1, 1), 0.7)
+	}
+	j2.Update(ja(2, 2), 0.9)
+	if best := j2.Best(); !best.Equal(ja(2, 2)) {
+		t.Errorf("raw argmax Best = %v, want the lucky [2 2]", best)
+	}
+}
+
+func TestJAVEmptyBest(t *testing.T) {
+	j := NewJAV(2, 1.0)
+	if j.Best() != nil || j.BestReward() != 0 {
+		t.Error("empty JAV should have nil best")
+	}
+}
+
+func TestJAVConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewJAV(0, 0.9) },
+		func() { NewJAV(2, 0) },
+		func() { NewJAV(2, 1.5) },
+		func() { NewJAVLCB(2, 0.9, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid JAV construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestJAVStorageBitsMatchesPaper(t *testing.T) {
+	// Paper §4.4.1: 8 cores, 17 arms, 2 entries -> aField 40 bits,
+	// total 336 bits = 42 bytes.
+	j := NewJAV(2, 0.999)
+	if got := j.StorageBits(8, 17); got != 336 {
+		t.Errorf("StorageBits(8,17) = %d, want 336", got)
+	}
+}
+
+// Property: Best always returns a resident action whose LCB score is
+// maximal, and Len never exceeds Cap.
+func TestQuickJAVInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		j := NewJAVLCB(1+r.Intn(4), 0.99, 0.1)
+		for i := 0; i < 200; i++ {
+			action := ja(uint8(r.Intn(4)), uint8(r.Intn(4)))
+			j.Update(action, r.Float64())
+			if j.Len() > j.Cap() {
+				return false
+			}
+			best := j.Best()
+			if best == nil {
+				return false
+			}
+			if _, ok := j.Lookup(best); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Package core implements the paper's contribution: the Micro-Armed
+// Bandit prefetch controller (per-L2 DUCB agents over the 17-arm
+// ensemble), the naïve shared-reward variant of §3.2, and the µMama
+// supervisor (§4) — arbiter, Joint Action-Value cache, runtime Weighted/
+// Harmonic speedup estimation, and global-reward assignment to
+// low-importance cores.
+package core
+
+import (
+	"fmt"
+
+	"micromama/internal/metrics"
+)
+
+// Metric selects the system-level reward µMama optimizes (§4.2.5,
+// §6.4). The throughput term is normalized to the arithmetic-mean
+// speedup so blends interpolate between same-scale quantities.
+type Metric struct {
+	// Alpha blends throughput and fairness: reward =
+	// (1-Alpha)·AM + Alpha·HS. Ignored when UseGM is set.
+	Alpha float64
+	// UseGM selects the geometric-mean reward (µMama-GM).
+	UseGM bool
+}
+
+// Named metric constructors matching the paper's configurations.
+func MetricWS() Metric             { return Metric{Alpha: 0} }
+func MetricHS() Metric             { return Metric{Alpha: 1} }
+func MetricBlend(a float64) Metric { return Metric{Alpha: a} }
+func MetricGM() Metric             { return Metric{UseGM: true} }
+
+// String names the metric as in Figure 14.
+func (m Metric) String() string {
+	if m.UseGM {
+		return "µmama-GM"
+	}
+	switch m.Alpha {
+	case 0:
+		return "µmama-WS"
+	case 1:
+		return "µmama-HS"
+	default:
+		return fmt.Sprintf("µmama-%d", int(m.Alpha*100+0.5))
+	}
+}
+
+// Reward computes the system-level reward from estimated per-core
+// speedups.
+func (m Metric) Reward(shat []float64) float64 {
+	if m.UseGM {
+		return metrics.GM(shat)
+	}
+	return metrics.Blend(shat, m.Alpha)
+}
+
+// Sensitivity returns the importance of core i's prefetching speedup to
+// the metric — the ∂M/∂S^opt_i statistic of §4.2.4/§4.2.5, normalized
+// so it is comparable with θ_global across metrics:
+//
+//   - WS/AM term:  Ŝ^MP_i
+//   - HS term:     Ŝ^MP_i · (HS/Ŝ_i)²
+//   - GM:          Ŝ^MP_i · GM/Ŝ_i
+//
+// Cores whose sensitivity falls below θ_global receive the system-level
+// reward instead of their local one.
+func (m Metric) Sensitivity(i int, smp, shat []float64) float64 {
+	if shat[i] <= 0 {
+		return 0
+	}
+	if m.UseGM {
+		return smp[i] * metrics.GM(shat) / shat[i]
+	}
+	ws := smp[i]
+	if m.Alpha == 0 {
+		return ws
+	}
+	hsv := metrics.HS(shat)
+	hs := smp[i] * (hsv / shat[i]) * (hsv / shat[i])
+	return (1-m.Alpha)*ws + m.Alpha*hs
+}

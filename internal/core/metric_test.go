@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"micromama/internal/metrics"
+)
+
+func TestMetricNames(t *testing.T) {
+	cases := map[string]Metric{
+		"µmama-WS": MetricWS(),
+		"µmama-HS": MetricHS(),
+		"µmama-25": MetricBlend(0.25),
+		"µmama-50": MetricBlend(0.50),
+		"µmama-75": MetricBlend(0.75),
+		"µmama-GM": MetricGM(),
+	}
+	for want, m := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMetricRewards(t *testing.T) {
+	s := []float64{0.5, 1.5}
+	if got := MetricWS().Reward(s); math.Abs(got-metrics.AM(s)) > 1e-12 {
+		t.Errorf("WS reward = %g, want AM", got)
+	}
+	if got := MetricHS().Reward(s); math.Abs(got-metrics.HS(s)) > 1e-12 {
+		t.Errorf("HS reward = %g, want HS", got)
+	}
+	if got := MetricGM().Reward(s); math.Abs(got-metrics.GM(s)) > 1e-12 {
+		t.Errorf("GM reward = %g, want GM", got)
+	}
+}
+
+func TestSensitivityWS(t *testing.T) {
+	// For WS, the sensitivity of core i is S^MP_i (§4.2.4).
+	smp := []float64{0.9, 0.3}
+	shat := []float64{0.9, 0.3}
+	m := MetricWS()
+	if got := m.Sensitivity(0, smp, shat); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("sens[0] = %g, want 0.9", got)
+	}
+	if got := m.Sensitivity(1, smp, shat); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("sens[1] = %g, want 0.3", got)
+	}
+}
+
+func TestSensitivityHSFavorsSlowCores(t *testing.T) {
+	// Under HS, a core with a LOW speedup has a HIGH (HS/S_i)^2 factor:
+	// improving the slowest core matters most, so it should NOT be
+	// handed the global reward as readily.
+	smp := []float64{0.8, 0.8}
+	shat := []float64{0.4, 1.6}
+	m := MetricHS()
+	slow := m.Sensitivity(0, smp, shat)
+	fast := m.Sensitivity(1, smp, shat)
+	if slow <= fast {
+		t.Errorf("HS sensitivity: slow=%g fast=%g; slow core should matter more", slow, fast)
+	}
+}
+
+func TestSensitivityZeroSpeedup(t *testing.T) {
+	if got := MetricHS().Sensitivity(0, []float64{1}, []float64{0}); got != 0 {
+		t.Errorf("zero-speedup sensitivity = %g", got)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import "micromama/internal/prefetch"
+
+// Overheads reports the hardware cost of a µMama deployment (paper
+// §4.4): JAV storage, per-timestep communication, and the data rate at
+// a given timestep length.
+type Overheads struct {
+	Cores            int
+	JAVEntries       int
+	JAVBits          int
+	JAVBytes         int
+	AFieldBits       int // joint-action tag width
+	PerStepBytes     int // per agent per timestep
+	CriticalBytes    int // bytes exchanged on the critical path
+	TimestepCycles   uint64
+	TotalDataRateMBs float64 // aggregate, assuming a 4 GHz clock
+}
+
+// ComputeOverheads evaluates the §4.4 model for a system with the given
+// core count, JAV capacity, and average timestep length in cycles. The
+// paper's 8-core, 2-entry, 150k-cycle configuration yields 42 bytes of
+// JAV storage and ~27 bytes/agent/timestep.
+func ComputeOverheads(cores, javEntries int, timestepCycles uint64) Overheads {
+	armBits := 0
+	for v := prefetch.NumArms - 1; v > 0; v >>= 1 {
+		armBits++
+	}
+	aField := cores * armBits
+	perEntry := aField + 64 + 64 // aField + double-precision n and r
+	bits := javEntries * perEntry
+
+	o := Overheads{
+		Cores:          cores,
+		JAVEntries:     javEntries,
+		JAVBits:        bits,
+		JAVBytes:       (bits + 7) / 8,
+		AFieldBits:     aField,
+		PerStepBytes:   27,
+		CriticalBytes:  2,
+		TimestepCycles: timestepCycles,
+	}
+	if timestepCycles > 0 {
+		stepsPerSec := 4e9 / float64(timestepCycles)
+		o.TotalDataRateMBs = stepsPerSec * float64(o.PerStepBytes) * float64(cores) / 1e6
+	}
+	return o
+}

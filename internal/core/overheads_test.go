@@ -1,0 +1,35 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestOverheadsMatchPaper pins the §4.4 numbers: a 2-entry JAV for an
+// 8-core, 17-arm system costs 336 bits (42 bytes); each agent exchanges
+// 27 bytes per timestep (2 on the critical path); at the paper's
+// ~150k-cycle timestep a 40-core system moves ~28 MB/s total.
+func TestOverheadsMatchPaper(t *testing.T) {
+	o := ComputeOverheads(8, 2, 150_000)
+	if o.AFieldBits != 40 {
+		t.Errorf("aField = %d bits, want 40", o.AFieldBits)
+	}
+	if o.JAVBits != 336 || o.JAVBytes != 42 {
+		t.Errorf("JAV storage = %d bits / %d bytes, want 336/42", o.JAVBits, o.JAVBytes)
+	}
+	if o.PerStepBytes != 27 || o.CriticalBytes != 2 {
+		t.Errorf("comm bytes = %d/%d, want 27/2", o.PerStepBytes, o.CriticalBytes)
+	}
+
+	o40 := ComputeOverheads(40, 64, 150_000)
+	if math.Abs(o40.TotalDataRateMBs-28.8) > 1.0 {
+		t.Errorf("40-core data rate = %.1f MB/s, want ~28 (paper §4.4.2)", o40.TotalDataRateMBs)
+	}
+}
+
+func TestOverheadsZeroTimestep(t *testing.T) {
+	o := ComputeOverheads(4, 2, 0)
+	if o.TotalDataRateMBs != 0 {
+		t.Error("zero timestep should give zero data rate")
+	}
+}

@@ -1,0 +1,252 @@
+// Package dram models main memory as a set of channels with banks, open
+// rows, and a finite-bandwidth data bus. The data-bus occupancy is what
+// caps bandwidth: each transfer holds the channel bus for
+// LineBytes/BytesPerCycle cycles, so a flood of prefetches from one core
+// queues behind (and delays) every other core's demands — the contention
+// phenomenon at the heart of the paper.
+package dram
+
+import "fmt"
+
+// Config describes the memory system.
+type Config struct {
+	Name            string
+	Channels        int
+	BanksPerChannel int
+	RowBytes        uint64
+	LineBytes       uint64
+	// BytesPerCycle is the peak data-bus bandwidth per channel in bytes
+	// per CPU cycle (e.g. DDR4-2400 on a 4 GHz CPU: 19.2 GB/s / 4 GHz =
+	// 4.8 B/cycle).
+	BytesPerCycle float64
+	// TCAS, TRCD, TRP are timing components in CPU cycles.
+	TCAS uint64
+	TRCD uint64
+	TRP  uint64
+	// CtrlLatency is the fixed memory-controller + off-chip round-trip
+	// latency in CPU cycles, added to every access's data latency but
+	// not to bank/bus occupancy.
+	CtrlLatency uint64
+	// QueueDepth caps outstanding requests per channel; arrivals beyond
+	// it are delayed until an older request completes.
+	QueueDepth int
+	// PrefetchHorizon is the controller's demand-priority backpressure:
+	// a prefetch is rejected when the channel bus is already booked more
+	// than this many cycles ahead, so prefetch floods cannot starve
+	// other cores' demand requests (real controllers schedule demands
+	// first; ChampSim drops low-priority fills under pressure).
+	PrefetchHorizon uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Channels <= 0 {
+		return fmt.Errorf("dram %s: Channels must be positive", c.Name)
+	}
+	if c.BanksPerChannel <= 0 {
+		return fmt.Errorf("dram %s: BanksPerChannel must be positive", c.Name)
+	}
+	if c.RowBytes == 0 || c.LineBytes == 0 {
+		return fmt.Errorf("dram %s: RowBytes and LineBytes must be positive", c.Name)
+	}
+	if c.BytesPerCycle <= 0 {
+		return fmt.Errorf("dram %s: BytesPerCycle must be positive", c.Name)
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("dram %s: QueueDepth must be positive", c.Name)
+	}
+	return nil
+}
+
+// PeakGBps returns the aggregate peak bandwidth in GB/s assuming a 4 GHz
+// CPU clock.
+func (c Config) PeakGBps() float64 {
+	return c.BytesPerCycle * 4e9 * float64(c.Channels) / 1e9
+}
+
+// BurstCycles returns the channel-bus occupancy of one line transfer.
+func (c Config) BurstCycles() uint64 {
+	b := uint64(float64(c.LineBytes) / c.BytesPerCycle)
+	if float64(b)*c.BytesPerCycle < float64(c.LineBytes) {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// DDR4 presets assume a 4 GHz CPU clock and 64-bit channels, matching
+// the paper's Table 3 system (DDR4-2400, 1 channel) and the bandwidth
+// sweep of §6.2 (DDR4-1866/2400 × 1/2 channels).
+func DDR4(mtps int, channels int) Config {
+	gbps := float64(mtps) * 8 / 1000 // MT/s × 8 bytes
+	return Config{
+		Name:            fmt.Sprintf("DDR4-%d x%dch", mtps, channels),
+		Channels:        channels,
+		BanksPerChannel: 8,
+		RowBytes:        8 << 10,
+		LineBytes:       64,
+		BytesPerCycle:   gbps / 4.0, // per channel at 4 GHz
+		TCAS:            56,         // ~14 ns
+		TRCD:            56,
+		TRP:             56,
+		CtrlLatency:     160, // ~40 ns controller + PHY + off-chip round trip
+		QueueDepth:      48,
+		PrefetchHorizon: 2048,
+	}
+}
+
+// Stats aggregates memory-system counters.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	// BusBusyCycles is the total channel-bus occupancy accumulated;
+	// divide by elapsed cycles × channels for utilization.
+	BusBusyCycles uint64
+	// QueueDelay accumulates cycles requests spent waiting for a queue
+	// slot or the bank/bus, beyond raw service latency.
+	QueueDelay uint64
+	// PrefetchesRejected counts prefetches refused by the controller's
+	// demand-priority backpressure.
+	PrefetchesRejected uint64
+}
+
+type bank struct {
+	row     uint64
+	rowOpen bool
+	busyTil uint64
+}
+
+type channel struct {
+	banks   []bank
+	busFree uint64
+	// queue is a ring of the completion times of the most recent
+	// QueueDepth requests; a new arrival cannot start before the oldest
+	// completes once the ring is full.
+	queue []uint64
+	qHead int
+	qLen  int
+}
+
+// DRAM is the memory-system timing model.
+type DRAM struct {
+	cfg   Config
+	chans []channel
+	stats Stats
+	burst uint64
+}
+
+// New constructs a DRAM model. It panics on invalid configuration.
+func New(cfg Config) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &DRAM{cfg: cfg, burst: cfg.BurstCycles()}
+	d.chans = make([]channel, cfg.Channels)
+	for i := range d.chans {
+		d.chans[i].banks = make([]bank, cfg.BanksPerChannel)
+		d.chans[i].queue = make([]uint64, cfg.QueueDepth)
+	}
+	return d
+}
+
+// Config returns the model's configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// Access services a demand line transfer arriving at cycle now and
+// returns the cycle at which the data is fully transferred. write
+// distinguishes writebacks (same bus cost, nobody waits on the result).
+func (d *DRAM) Access(now uint64, addr uint64, write bool) uint64 {
+	done, _ := d.access(now, addr, write, false)
+	return done
+}
+
+// AccessPrefetch services a prefetch line transfer, subject to the
+// demand-priority backpressure: it reports ok == false (and performs no
+// transfer) when the channel is booked beyond PrefetchHorizon.
+func (d *DRAM) AccessPrefetch(now uint64, addr uint64) (done uint64, ok bool) {
+	return d.access(now, addr, false, true)
+}
+
+func (d *DRAM) access(now uint64, addr uint64, write, pf bool) (uint64, bool) {
+	chIdx := int((addr / d.cfg.LineBytes) % uint64(d.cfg.Channels))
+	ch := &d.chans[chIdx]
+
+	if pf && d.cfg.PrefetchHorizon > 0 && ch.busFree > now+d.cfg.PrefetchHorizon {
+		d.stats.PrefetchesRejected++
+		return 0, false
+	}
+
+	// Queue admission: wait for a slot if QueueDepth requests are in
+	// flight.
+	start := now
+	if ch.qLen == d.cfg.QueueDepth {
+		oldest := ch.queue[ch.qHead]
+		if oldest > start {
+			start = oldest
+		}
+		ch.qHead = (ch.qHead + 1) % d.cfg.QueueDepth
+		ch.qLen--
+	}
+
+	bIdx := int((addr / d.cfg.RowBytes) % uint64(d.cfg.BanksPerChannel))
+	b := &ch.banks[bIdx]
+	row := addr / (d.cfg.RowBytes * uint64(d.cfg.BanksPerChannel) * uint64(d.cfg.Channels))
+
+	if b.busyTil > start {
+		start = b.busyTil
+	}
+	// The bank is occupied for the command time only: consecutive CAS
+	// commands to an open row pipeline at burst rate; a row miss adds
+	// precharge+activate occupancy. The data latency (tCAS) overlaps
+	// with subsequent commands.
+	var lat, occupancy uint64
+	if b.rowOpen && b.row == row {
+		lat = d.cfg.CtrlLatency + d.cfg.TCAS
+		occupancy = d.burst
+		d.stats.RowHits++
+	} else {
+		lat = d.cfg.CtrlLatency + d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		occupancy = d.cfg.TRP + d.cfg.TRCD + d.burst
+		d.stats.RowMisses++
+		b.row = row
+		b.rowOpen = true
+	}
+	b.busyTil = start + occupancy
+
+	dataStart := start + lat
+	if ch.busFree > dataStart {
+		dataStart = ch.busFree
+	}
+	done := dataStart + d.burst
+	ch.busFree = done
+	d.stats.BusBusyCycles += d.burst
+	d.stats.QueueDelay += dataStart - now - lat
+
+	// Record completion in the queue ring.
+	tail := (ch.qHead + ch.qLen) % d.cfg.QueueDepth
+	ch.queue[tail] = done
+	ch.qLen++
+
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	return done, true
+}
+
+// Utilization returns the fraction of total channel-bus cycles occupied
+// over the first `elapsed` cycles of simulation.
+func (d *DRAM) Utilization(elapsed uint64) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(d.stats.BusBusyCycles) / (float64(elapsed) * float64(d.cfg.Channels))
+}

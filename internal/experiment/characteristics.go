@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"micromama/internal/sim"
+)
+
+// CharacteristicsReport reproduces §6.3's workload-characteristics
+// analysis: workloads that benefit most from µMama tend to have a low
+// mean no-prefetch L2-MPKI (µ), a high variance (σ²), or both. The
+// paper restricts to mixes with µ − σ < 2.5 MPKI and finds larger
+// µMama speedups there (2.7%/3.4% at 4/8 cores vs 1.9%/2.1% overall).
+type CharacteristicsReport struct {
+	Cores     int
+	Threshold float64 // the µ−σ filter threshold in MPKI
+
+	// Per-mix data, index-aligned.
+	MixNames  []string
+	MeanMPKI  []float64 // µ of per-core no-prefetch L2 MPKI
+	SigmaMPKI []float64 // σ across cores
+	Ratio     []float64 // WS(µMama)/WS(Bandit)
+
+	// Aggregates.
+	AvgAll      float64 // mean µMama gain over all mixes
+	AvgFiltered float64 // mean gain over mixes with µ−σ < Threshold
+	FilteredN   int
+}
+
+// Fig63Characteristics measures per-mix no-prefetch MPKI statistics and
+// correlates them with µMama's speedup over Bandit.
+func (r *Runner) Fig63Characteristics(cores int, threshold float64) (*CharacteristicsReport, error) {
+	cfg := sim.DefaultConfig(cores)
+	mixes := r.mixesFor(cores)
+	rep := &CharacteristicsReport{Cores: cores, Threshold: threshold}
+
+	banditRes, err := r.RunMixes(mixes, cfg, "bandit", Options{})
+	if err != nil {
+		return nil, err
+	}
+	mamaRes, err := r.RunMixes(mixes, cfg, "mumama", Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	var sumAll, sumFiltered float64
+	for i, mix := range mixes {
+		// No-prefetch multicore run for the MPKI characterization
+		// (shared with the profiled mode's cache).
+		noPref, err := r.RunMix(mix, cfg, "no", Options{})
+		if err != nil {
+			return nil, err
+		}
+		var mu, sigma float64
+		for _, c := range noPref.Result.Cores {
+			mu += c.L2MPKI()
+		}
+		mu /= float64(len(noPref.Result.Cores))
+		for _, c := range noPref.Result.Cores {
+			d := c.L2MPKI() - mu
+			sigma += d * d
+		}
+		sigma = math.Sqrt(sigma / float64(len(noPref.Result.Cores)))
+
+		ratio := 0.0
+		if banditRes[i].WS > 0 {
+			ratio = mamaRes[i].WS / banditRes[i].WS
+		}
+		rep.MixNames = append(rep.MixNames, mix.Name())
+		rep.MeanMPKI = append(rep.MeanMPKI, mu)
+		rep.SigmaMPKI = append(rep.SigmaMPKI, sigma)
+		rep.Ratio = append(rep.Ratio, ratio)
+
+		sumAll += ratio
+		if mu-sigma < threshold {
+			sumFiltered += ratio
+			rep.FilteredN++
+		}
+	}
+	rep.AvgAll = sumAll/float64(len(mixes)) - 1
+	if rep.FilteredN > 0 {
+		rep.AvgFiltered = sumFiltered/float64(rep.FilteredN) - 1
+	}
+	return rep, nil
+}
+
+// String renders the report.
+func (c *CharacteristicsReport) String() string {
+	var rows [][]string
+	for i := range c.MixNames {
+		mark := ""
+		if c.MeanMPKI[i]-c.SigmaMPKI[i] < c.Threshold {
+			mark = "*"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d%s", i, mark),
+			fmt.Sprintf("%.1f", c.MeanMPKI[i]),
+			fmt.Sprintf("%.1f", c.SigmaMPKI[i]),
+			num(c.Ratio[i]),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "§6.3: workload characteristics (%d cores); * marks µ−σ < %.1f MPKI\n", c.Cores, c.Threshold)
+	b.WriteString(table([]string{"mix", "µ MPKI", "σ MPKI", "WS µmama/bandit"}, rows))
+	fmt.Fprintf(&b, "average µMama gain: all mixes %s; filtered (%d mixes) %s\n",
+		pct(c.AvgAll), c.FilteredN, pct(c.AvgFiltered))
+	return b.String()
+}

@@ -1,0 +1,246 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation: it runs workload mixes under each prefetch controller,
+// measures speedups against the single-core no-L2-prefetch baselines,
+// and renders the same rows/series the paper reports (see the
+// experiment index in DESIGN.md).
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"micromama/internal/core"
+	"micromama/internal/prefetch"
+	"micromama/internal/sim"
+	"micromama/internal/workload"
+)
+
+// Scale sets the simulation budget. The paper measures 250M
+// instructions per core; these scales trade absolute fidelity for
+// runnable harnesses while staying far past DUCB convergence
+// (step = 800 L2 accesses → thousands of timesteps).
+type Scale struct {
+	// Target is the instruction-retirement goal per core.
+	Target uint64
+	// MaxCyclesFactor bounds a run at Target×factor cycles so very slow
+	// cores cannot stall the harness; cores still running report their
+	// IPC over the elapsed window.
+	MaxCyclesFactor uint64
+	// MixCount is how many workload mixes to sample (the paper uses 52).
+	MixCount int
+	// Seed drives mix sampling.
+	Seed uint64
+	// Step is the agent timestep in L2 demand accesses. The paper uses
+	// 800 over 250M instructions/core; scaled-down simulations shrink
+	// the step proportionally so agents complete a comparable number of
+	// timesteps.
+	Step uint64
+}
+
+// Predefined scales. Tiny is for unit tests; Small for quick looks;
+// Default for the benchmark harness; Full approaches the paper's 52-mix
+// evaluation.
+var (
+	ScaleTiny    = Scale{Target: 400_000, MaxCyclesFactor: 12, MixCount: 2, Seed: 7, Step: 150}
+	ScaleSmall   = Scale{Target: 1_500_000, MaxCyclesFactor: 14, MixCount: 4, Seed: 7, Step: 250}
+	ScaleDefault = Scale{Target: 4_000_000, MaxCyclesFactor: 14, MixCount: 8, Seed: 7, Step: 250}
+	ScaleFull    = Scale{Target: 8_000_000, MaxCyclesFactor: 16, MixCount: 52, Seed: 7, Step: 400}
+)
+
+// MaxCycles returns the cycle guard for this scale.
+func (s Scale) MaxCycles() uint64 { return s.Target * s.MaxCyclesFactor }
+
+// Options tune controller construction.
+type Options struct {
+	// Profiles supplies per-core S^MP values (µMama-Profiled).
+	Profiles []float64
+	// JAVSize overrides the JAV capacity (0 = paper default of 2).
+	JAVSize int
+	// Timeline enables policy-timeline recording.
+	Timeline bool
+	// Theta overrides θ_global (0 = paper formula).
+	Theta float64
+	// TArbit overrides the arbiter period (0 = paper default of 5).
+	TArbit int
+	// Step overrides the timestep threshold in L2 demand accesses
+	// (0 = paper default of 800). Scaled-down simulations scale the
+	// step so agents complete a paper-like number of timesteps.
+	Step uint64
+}
+
+// ControllerKeys lists every controller the harness can build.
+var ControllerKeys = []string{
+	"no", "ip_stride", "bingo", "pythia", "spp",
+	"bandit", "bandit-shared",
+	"mumama", "mumama-fair", "mumama-25", "mumama-50", "mumama-75", "mumama-gm",
+	"mumama-profiled", "mumama-jav-only", "mumama-grw-only", "mumama-l1l2",
+}
+
+// MakeController builds a prefetch controller by key.
+func MakeController(key string, opt Options) (sim.Controller, error) {
+	mm := func(metric core.Metric, mutate func(*core.MuMamaConfig)) sim.Controller {
+		cfg := core.DefaultMuMamaConfig()
+		cfg.Metric = metric
+		if opt.JAVSize > 0 {
+			cfg.JAVSize = opt.JAVSize
+		}
+		if opt.Theta > 0 {
+			cfg.ThetaGlobal = opt.Theta
+		}
+		if opt.TArbit > 0 {
+			cfg.TArbit = opt.TArbit
+		}
+		if opt.Step > 0 {
+			cfg.Step = opt.Step
+		}
+		cfg.RecordTimeline = opt.Timeline
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return core.NewMuMama(cfg)
+	}
+	bandit := func(shared bool) sim.Controller {
+		cfg := core.DefaultBanditConfig()
+		cfg.SharedReward = shared
+		if opt.Step > 0 {
+			cfg.Step = opt.Step
+		}
+		cfg.RecordTimeline = opt.Timeline
+		return core.NewBandit(cfg)
+	}
+	switch key {
+	case "no":
+		return sim.NoPrefetchController(), nil
+	case "ip_stride":
+		return sim.NewFixedController("ip_stride", func(int) prefetch.Prefetcher {
+			return prefetch.NewStride("l2_stride", 64, 2)
+		}), nil
+	case "bingo":
+		return sim.NewFixedController("bingo", func(int) prefetch.Prefetcher {
+			return prefetch.NewBingo()
+		}), nil
+	case "pythia":
+		return sim.NewFixedController("pythia", func(c int) prefetch.Prefetcher {
+			return prefetch.NewPythia(uint64(c) + 12345)
+		}), nil
+	case "spp":
+		return sim.NewFixedController("spp", func(int) prefetch.Prefetcher {
+			return prefetch.NewSPP()
+		}), nil
+	case "bandit":
+		return bandit(false), nil
+	case "bandit-shared":
+		return bandit(true), nil
+	case "mumama":
+		return mm(core.MetricWS(), nil), nil
+	case "mumama-fair":
+		return mm(core.MetricHS(), nil), nil
+	case "mumama-25":
+		return mm(core.MetricBlend(0.25), nil), nil
+	case "mumama-50":
+		return mm(core.MetricBlend(0.50), nil), nil
+	case "mumama-75":
+		return mm(core.MetricBlend(0.75), nil), nil
+	case "mumama-gm":
+		return mm(core.MetricGM(), nil), nil
+	case "mumama-profiled":
+		if opt.Profiles == nil {
+			return nil, fmt.Errorf("experiment: mumama-profiled requires Options.Profiles")
+		}
+		return mm(core.MetricWS(), func(c *core.MuMamaConfig) { c.Profiles = opt.Profiles }), nil
+	case "mumama-jav-only":
+		return mm(core.MetricWS(), func(c *core.MuMamaConfig) { c.DisableGRW = true }), nil
+	case "mumama-grw-only":
+		return mm(core.MetricWS(), func(c *core.MuMamaConfig) { c.DisableJAV = true }), nil
+	case "mumama-l1l2":
+		cfg := core.DefaultMuMamaConfig()
+		if opt.Step > 0 {
+			cfg.Step = opt.Step
+		}
+		if opt.JAVSize > 0 {
+			cfg.JAVSize = opt.JAVSize
+		}
+		return core.NewDualMuMama(cfg), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown controller %q", key)
+	}
+}
+
+// MixResult is one (mix, controller) measurement.
+type MixResult struct {
+	Mix        workload.Mix
+	Controller string
+	Result     sim.Result
+	// Speedups are S_i = IPC_i(multicore, controller) /
+	// IPC_i(single-core, no L2 prefetch) — Equation 2's terms.
+	Speedups   []float64
+	WS         float64
+	HS         float64
+	GM         float64
+	Unfairness float64
+}
+
+// Runner executes experiments at a given scale, caching single-core
+// baselines and no-prefetch multicore profiles.
+type Runner struct {
+	Scale   Scale
+	Workers int
+
+	mu       sync.Mutex
+	baseline map[string]float64   // trace|dram -> alone no-L2-pref IPC
+	profiles map[string][]float64 // mixKey|dram -> S^MP per core
+	inflight map[string]*sync.WaitGroup
+}
+
+// NewRunner constructs a Runner with sensible worker parallelism.
+func NewRunner(scale Scale) *Runner {
+	return &Runner{
+		Scale:    scale,
+		Workers:  runtime.GOMAXPROCS(0),
+		baseline: make(map[string]float64),
+		profiles: make(map[string][]float64),
+		inflight: make(map[string]*sync.WaitGroup),
+	}
+}
+
+// BaselineIPC returns the trace's IPC running alone on cfg's system
+// without L2 prefetching (IPC^{base,SP} of Equation 2), computing and
+// caching it on first use. Concurrent callers for the same key block on
+// one computation.
+func (r *Runner) BaselineIPC(spec workload.Spec, cfg sim.Config) float64 {
+	key := spec.Name + "|" + cfg.DRAM.Name
+	for {
+		r.mu.Lock()
+		if v, ok := r.baseline[key]; ok {
+			r.mu.Unlock()
+			return v
+		}
+		if wg, ok := r.inflight[key]; ok {
+			r.mu.Unlock()
+			wg.Wait()
+			continue
+		}
+		wg := &sync.WaitGroup{}
+		wg.Add(1)
+		r.inflight[key] = wg
+		r.mu.Unlock()
+
+		c := cfg
+		c.Cores = 1
+		mix := workload.Mix{Specs: []workload.Spec{spec}}
+		sys, err := sim.New(c, mix.Traces(), sim.NoPrefetchController())
+		var ipc float64
+		if err == nil {
+			res := sys.Run(r.Scale.Target, r.Scale.MaxCycles())
+			ipc = res.Cores[0].IPC
+		}
+
+		r.mu.Lock()
+		r.baseline[key] = ipc
+		delete(r.inflight, key)
+		r.mu.Unlock()
+		wg.Done()
+		return ipc
+	}
+}

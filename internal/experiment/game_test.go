@@ -1,0 +1,46 @@
+package experiment
+
+import "testing"
+
+func TestGamePayoffStructure(t *testing.T) {
+	// Aggressive strictly dominates for both players (Nash at {Agg,Agg}).
+	for other := 0; other < 2; other++ {
+		if GamePayoffs[Aggressive][other][0] <= GamePayoffs[Friendly][other][0] {
+			t.Error("Aggressive does not dominate for A")
+		}
+		if GamePayoffs[other][Aggressive][1] <= GamePayoffs[other][Friendly][1] {
+			t.Error("Aggressive does not dominate for B")
+		}
+	}
+	// {Aggressive, Friendly} maximizes the total at 2.1; Nash total 1.9.
+	if got := GamePayoffs[Aggressive][Friendly][0] + GamePayoffs[Aggressive][Friendly][1]; got != 2.1 {
+		t.Errorf("max total = %g, want 2.1", got)
+	}
+	if got := GamePayoffs[Aggressive][Aggressive][0] + GamePayoffs[Aggressive][Aggressive][1]; got != 1.9 {
+		t.Errorf("Nash total = %g, want 1.9", got)
+	}
+}
+
+func TestPlayGameConvergesToNash(t *testing.T) {
+	rep := PlayGame(4000, 11)
+	if rep.NashRate < 0.9 {
+		t.Errorf("independent agents reached Nash only %.0f%% of steady state", rep.NashRate*100)
+	}
+	if rep.SupervisedJoint != [2]int{Aggressive, Friendly} {
+		t.Errorf("supervisor picked %v, want {Aggressive, Friendly}", rep.SupervisedJoint)
+	}
+	if rep.SupervisedTotal <= rep.IndependentTotal {
+		t.Errorf("supervisor total %.3f not better than independent %.3f",
+			rep.SupervisedTotal, rep.IndependentTotal)
+	}
+	if rep.String() == "" {
+		t.Error("empty report rendering")
+	}
+}
+
+func TestPlayGameDeterministic(t *testing.T) {
+	a, b := PlayGame(1000, 5), PlayGame(1000, 5)
+	if a.JointFreq != b.JointFreq {
+		t.Error("same-seed games diverged")
+	}
+}

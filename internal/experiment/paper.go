@@ -1,0 +1,74 @@
+package experiment
+
+// PaperReported records the headline numbers the paper reports for each
+// experiment, as data. EXPERIMENTS.md cites these, and shape tests can
+// compare signs/orderings (never absolute values — this repo's
+// substrate is a different simulator; see DESIGN.md).
+type PaperReported struct {
+	// Figure 9 (§6.1): average WS normalized to Bandit.
+	Fig9MuMamaWS4C float64 // +1.9%
+	Fig9MuMamaWS8C float64 // +2.1%
+	// §6.1 prefetch-traffic change of µMama vs Bandit.
+	PrefetchTraffic4C float64 // −23.9%
+	PrefetchTraffic8C float64 // −15.5%
+	// §6.1: cores per mix growing MORE aggressive under µMama.
+	MoreAggressive4C float64 // ~1.5
+	MoreAggressive8C float64 // ~3.5
+	// Figure 10 averages.
+	Fig10WS4C float64 // +1.85%
+	Fig10WS8C float64 // +2.12%
+	Fig10HS4C float64 // +9.44%
+	Fig10HS8C float64 // +10.38%
+	// Figure 11: µMama's gain in the most bandwidth-constrained system.
+	Fig11LowBW8C float64 // +2.56%
+	// Figure 3: Bandit's 8-core prefetch blow-up (others stay ≤ ~8x).
+	Fig3Bandit8C float64 // ~10x
+	// §6.5: fraction of timesteps dictated from the JAV.
+	JointFraction4C float64 // 0.64
+	JointFraction8C float64 // 0.67
+	// Figure 13a: µMama-Fair's unfairness reduction vs Bandit.
+	Fig13UnfairnessReduction float64 // ~−30%
+	// Figure 15a: component breakdown, WS vs Bandit at 8 cores.
+	Fig15aJAVOnly  float64 // ~+1.5%
+	Fig15aFull     float64 // +2.1%
+	Fig15aProfiled float64 // +3.0%
+	// Figure 16: µMama-Profiled per-mix average and slowdown-mix cut.
+	Fig16Avg         float64 // +3.06%
+	Fig16SlowdownCut float64 // −47% slowdown mixes vs µMama
+	// §6.3: gains on the µ−σ < 2.5 MPKI subset.
+	Sec63Filtered4C float64 // +2.7%
+	Sec63Filtered8C float64 // +3.4%
+	// §4.4: hardware overheads.
+	JAVBytes8C     int     // 42
+	PerStepBytes   int     // 27
+	DataRateMBs40C float64 // ~28
+}
+
+// Paper is the paper's reported values (MICRO'25, Block et al.).
+var Paper = PaperReported{
+	Fig9MuMamaWS4C:           0.019,
+	Fig9MuMamaWS8C:           0.021,
+	PrefetchTraffic4C:        -0.239,
+	PrefetchTraffic8C:        -0.155,
+	MoreAggressive4C:         1.5,
+	MoreAggressive8C:         3.5,
+	Fig10WS4C:                0.0185,
+	Fig10WS8C:                0.0212,
+	Fig10HS4C:                0.0944,
+	Fig10HS8C:                0.1038,
+	Fig11LowBW8C:             0.0256,
+	Fig3Bandit8C:             10.0,
+	JointFraction4C:          0.64,
+	JointFraction8C:          0.67,
+	Fig13UnfairnessReduction: -0.30,
+	Fig15aJAVOnly:            0.015,
+	Fig15aFull:               0.021,
+	Fig15aProfiled:           0.030,
+	Fig16Avg:                 0.0306,
+	Fig16SlowdownCut:         -0.47,
+	Sec63Filtered4C:          0.027,
+	Sec63Filtered8C:          0.034,
+	JAVBytes8C:               42,
+	PerStepBytes:             27,
+	DataRateMBs40C:           28,
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table renders a fixed-width text table.
+func table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pct(x float64) string { return fmt.Sprintf("%+.2f%%", x*100) }
+func num(x float64) string { return fmt.Sprintf("%.3f", x) }
+func ratioPct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a/b - 1
+}

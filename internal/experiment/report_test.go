@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"micromama/internal/core"
+	"micromama/internal/workload"
+)
+
+// Fabricated reports exercise the String and SVG renderers without
+// running simulations.
+
+func fabThroughput() *ThroughputReport {
+	return &ThroughputReport{
+		CoreCounts:  []int{1, 4},
+		Controllers: []string{"pythia", "mumama"},
+		NormWS: map[int]map[string]float64{
+			1: {"pythia": -0.07, "mumama": -0.04},
+			4: {"pythia": -0.09, "mumama": 0.019},
+		},
+		PrefetchReduction: map[int]float64{4: -0.239},
+		MoreAggressive:    map[int]float64{4: 1.5},
+	}
+}
+
+func TestThroughputReportRendering(t *testing.T) {
+	rep := fabThroughput()
+	out := rep.String()
+	for _, want := range []string{"Figure 9", "mumama", "+1.90%", "-23.90%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+	svg := rep.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "4 cores") {
+		t.Error("SVG rendering incomplete")
+	}
+}
+
+func TestPerWorkloadReportRendering(t *testing.T) {
+	rep := &PerWorkloadReport{
+		Cores: 4, Controller: "mumama", MetricName: "WS",
+		Ratios:   []float64{1.05, 0.97, 1.132},
+		MixNames: []string{"a", "b", "c"},
+		Average:  0.0185,
+	}
+	out := rep.String()
+	if !strings.Contains(out, "+1.85%") {
+		t.Errorf("average missing:\n%s", out)
+	}
+	// Rendering is sorted ascending: 0.97 first.
+	if strings.Index(out, "0.970") > strings.Index(out, "1.132") {
+		t.Error("ratios not sorted")
+	}
+	if !strings.Contains(rep.SVG(), "polyline") {
+		t.Error("SVG missing data")
+	}
+}
+
+func TestBandwidthReportRendering(t *testing.T) {
+	rep := &BandwidthReport{Points: []BandwidthPoint{
+		{DRAMName: "DDR4-1866 x1ch", PeakGBps: 14.9, Cores: 8, Controller: "mumama", NormWS: 0.0256},
+		{DRAMName: "DDR4-2400 x1ch", PeakGBps: 19.2, Cores: 8, Controller: "mumama", NormWS: 0.021},
+	}}
+	if !strings.Contains(rep.String(), "+2.56%") {
+		t.Error("point missing from rendering")
+	}
+	if !strings.Contains(rep.SVG(), "mumama 8C") {
+		t.Error("SVG series missing")
+	}
+}
+
+func TestFairnessFrontierAblationRendering(t *testing.T) {
+	fr := &FairnessReport{
+		CoreCounts:  []int{4},
+		Controllers: []string{"bandit", "mumama-fair"},
+		Unfairness:  map[int]map[string]float64{4: {"bandit": 6.1, "mumama-fair": 4.2}},
+		NormHS:      map[int]map[string]float64{4: {"bandit": 0, "mumama-fair": 0.094}},
+	}
+	if !strings.Contains(fr.String(), "+9.40%") {
+		t.Error("fairness rendering missing HS")
+	}
+	if !strings.Contains(fr.SVG(), "<svg") {
+		t.Error("fairness SVG broken")
+	}
+
+	fro := &FrontierReport{Cores: 4, Points: []FrontierPoint{
+		{Controller: "bandit", WS: 2.85, Fairness: -2.6},
+		{Controller: "mumama", WS: 2.9, Fairness: -1.9},
+	}}
+	if !strings.Contains(fro.String(), "bandit") || !strings.Contains(fro.SVG(), "circle") {
+		t.Error("frontier rendering broken")
+	}
+
+	ab := &AblationReport{
+		Cores:  8,
+		Order:  []string{"mumama-grw-only", "mumama"},
+		NormWS: map[string]float64{"mumama-grw-only": 0.002, "mumama": 0.021},
+	}
+	if !strings.Contains(ab.String(), "GRW") || !strings.Contains(ab.SVG(), "rect") {
+		t.Error("ablation rendering broken")
+	}
+}
+
+func TestTimelineReportRendering(t *testing.T) {
+	mix := MotivatingMix()
+	rep := &TimelineReport{
+		Controller: "mumama", Mix: mix,
+		Samples: []core.PolicySample{
+			{Cycle: 100, Core: 0, Arm: 3},
+			{Cycle: 200, Core: 0, Arm: 5, Joint: true},
+			{Cycle: 150, Core: 1, Arm: 0},
+		},
+		JointFraction: 0.66,
+	}
+	out := rep.String()
+	if !strings.Contains(out, "66%") || !strings.Contains(out, "5*") {
+		t.Errorf("timeline rendering missing dictated markers:\n%s", out)
+	}
+	if !strings.Contains(rep.SVG(), `fill="white"`) {
+		t.Error("SVG missing hollow dictated sample")
+	}
+}
+
+func TestCharacteristicsReportRendering(t *testing.T) {
+	rep := &CharacteristicsReport{
+		Cores: 4, Threshold: 2.5,
+		MixNames:  []string{"m0", "m1"},
+		MeanMPKI:  []float64{1.5, 20},
+		SigmaMPKI: []float64{0.5, 2},
+		Ratio:     []float64{1.03, 1.0},
+		AvgAll:    0.015, AvgFiltered: 0.03, FilteredN: 1,
+	}
+	out := rep.String()
+	if !strings.Contains(out, "0*") {
+		t.Errorf("filter marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+3.00%") {
+		t.Errorf("filtered average missing:\n%s", out)
+	}
+}
+
+// All reports must be JSON-serializable for mamabench -json.
+func TestReportsMarshalJSON(t *testing.T) {
+	reports := []interface{}{
+		fabThroughput(),
+		&PerWorkloadReport{Ratios: []float64{1}},
+		&PrefetchScalingReport{Normalized: map[string][]float64{"bandit": {1, 9.8}}},
+		&BandwidthReport{},
+		&FairnessReport{},
+		&FrontierReport{},
+		&AblationReport{},
+		&JAVSweepReport{},
+		&TimelineReport{Mix: workload.Mix{}},
+		&CharacteristicsReport{},
+		PlayGame(100, 1),
+	}
+	for _, r := range reports {
+		if _, err := json.Marshal(r); err != nil {
+			t.Errorf("%T: %v", r, err)
+		}
+	}
+}
+
+// TestPaperConstants pins the encoded paper values against the
+// hardware-overhead model (the only ones independently computable).
+func TestPaperConstants(t *testing.T) {
+	if Paper.JAVBytes8C != 42 || Paper.PerStepBytes != 27 {
+		t.Error("paper overhead constants drifted")
+	}
+	if Paper.Fig9MuMamaWS8C <= Paper.Fig9MuMamaWS4C {
+		t.Error("paper reports larger gains at 8 cores than 4")
+	}
+	if Paper.Fig10HS4C < 5*Paper.Fig10WS4C {
+		t.Error("paper's fairness gains dwarf its throughput gains")
+	}
+}

@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"micromama/internal/metrics"
+	"micromama/internal/sim"
+	"micromama/internal/workload"
+)
+
+// Profiles returns the per-core S^MP profile for a mix on cfg's system:
+// each core's IPC in the loaded multicore *without* L2 prefetching,
+// divided by its single-core baseline (§6.6.3's offline profiling run).
+// Results are cached per (mix, DRAM config).
+func (r *Runner) Profiles(mix workload.Mix, cfg sim.Config) []float64 {
+	key := mix.Name() + "|" + cfg.DRAM.Name
+	r.mu.Lock()
+	if v, ok := r.profiles[key]; ok {
+		r.mu.Unlock()
+		return v
+	}
+	r.mu.Unlock()
+
+	sys, err := sim.New(cfg, mix.Traces(), sim.NoPrefetchController())
+	if err != nil {
+		panic(fmt.Sprintf("experiment: profile run: %v", err))
+	}
+	res := sys.Run(r.Scale.Target, r.Scale.MaxCycles())
+	prof := make([]float64, len(mix.Specs))
+	for i, cr := range res.Cores {
+		base := r.BaselineIPC(mix.Specs[i], cfg)
+		if base > 0 {
+			prof[i] = cr.IPC / base
+		}
+	}
+
+	r.mu.Lock()
+	r.profiles[key] = prof
+	r.mu.Unlock()
+	return prof
+}
+
+// RunMix runs one mix under the named controller and computes the
+// speedup metrics against single-core no-L2-prefetch baselines.
+func (r *Runner) RunMix(mix workload.Mix, cfg sim.Config, key string, opt Options) (MixResult, error) {
+	if opt.Step == 0 {
+		opt.Step = r.Scale.Step
+	}
+	if key == "mumama-profiled" && opt.Profiles == nil {
+		opt.Profiles = r.Profiles(mix, cfg)
+	}
+	ctrl, err := MakeController(key, opt)
+	if err != nil {
+		return MixResult{}, err
+	}
+	res, err := r.RunMixWith(mix, cfg, ctrl)
+	if err != nil {
+		return MixResult{}, err
+	}
+	res.Controller = key
+	return res, nil
+}
+
+// RunMixWith runs one mix under a caller-constructed controller (for
+// custom configurations the key-based factory cannot express).
+func (r *Runner) RunMixWith(mix workload.Mix, cfg sim.Config, ctrl sim.Controller) (MixResult, error) {
+	cfg.Cores = len(mix.Specs)
+	sys, err := sim.New(cfg, mix.Traces(), ctrl)
+	if err != nil {
+		return MixResult{}, err
+	}
+	res := sys.Run(r.Scale.Target, r.Scale.MaxCycles())
+
+	sp := make([]float64, len(mix.Specs))
+	for i, cr := range res.Cores {
+		base := r.BaselineIPC(mix.Specs[i], cfg)
+		if base > 0 {
+			sp[i] = cr.IPC / base
+		}
+	}
+	return MixResult{
+		Mix:        mix,
+		Controller: ctrl.Name(),
+		Result:     res,
+		Speedups:   sp,
+		WS:         metrics.WS(sp),
+		HS:         metrics.HS(sp),
+		GM:         metrics.GM(sp),
+		Unfairness: metrics.Unfairness(sp),
+	}, nil
+}
+
+// MixesFor returns the scale's workload mixes for a core count (single
+// traces at 1 core, sampled mixes otherwise).
+func (r *Runner) MixesFor(cores int) []workload.Mix { return r.mixesFor(cores) }
+
+// RunMixes runs every mix under the named controller, in parallel
+// across r.Workers goroutines. Results are index-aligned with mixes.
+func (r *Runner) RunMixes(mixes []workload.Mix, cfg sim.Config, key string, opt Options) ([]MixResult, error) {
+	// Warm the baseline (and, if needed, profile) caches serially-ish
+	// first so parallel workers don't duplicate the work.
+	seen := map[string]bool{}
+	for _, m := range mixes {
+		for _, sp := range m.Specs {
+			if !seen[sp.Name] {
+				seen[sp.Name] = true
+				r.BaselineIPC(sp, cfg)
+			}
+		}
+	}
+
+	out := make([]MixResult, len(mixes))
+	errs := make([]error, len(mixes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, r.Workers))
+	for i := range mixes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = r.RunMix(mixes[i], cfg, key, opt)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MeanWS returns the average Weighted Speedup across results.
+func MeanWS(rs []MixResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, r := range rs {
+		t += r.WS
+	}
+	return t / float64(len(rs))
+}
+
+// MeanHS returns the average Harmonic-mean Speedup across results.
+func MeanHS(rs []MixResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, r := range rs {
+		t += r.HS
+	}
+	return t / float64(len(rs))
+}
+
+// MeanUnfairness returns the average Unfairness across results.
+func MeanUnfairness(rs []MixResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, r := range rs {
+		t += r.Unfairness
+	}
+	return t / float64(len(rs))
+}

@@ -1,0 +1,35 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"micromama/internal/metrics"
+)
+
+func ExampleWS() {
+	// Per-core speedups relative to running alone without L2 prefetching
+	// (Equation 2's S_i terms).
+	s := []float64{0.8, 0.6, 0.9, 0.7}
+	fmt.Printf("WS = %.2f\n", metrics.WS(s))
+	// Output: WS = 3.00
+}
+
+func ExampleHS() {
+	// HS rewards balance: the unbalanced system scores lower even with
+	// the same total.
+	balanced := []float64{0.75, 0.75}
+	skewed := []float64{0.25, 1.25}
+	fmt.Printf("balanced HS = %.3f, skewed HS = %.3f\n", metrics.HS(balanced), metrics.HS(skewed))
+	// Output: balanced HS = 0.750, skewed HS = 0.417
+}
+
+func ExampleUnfairness() {
+	fmt.Printf("%.1f\n", metrics.Unfairness([]float64{0.3, 0.6, 0.9}))
+	// Output: 3.0
+}
+
+func ExampleBlend() {
+	s := []float64{0.5, 1.0}
+	fmt.Printf("WS-end %.3f, HS-end %.3f\n", metrics.Blend(s, 0), metrics.Blend(s, 1))
+	// Output: WS-end 0.750, HS-end 0.667
+}

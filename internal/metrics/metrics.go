@@ -1,0 +1,100 @@
+// Package metrics implements the multiprogram performance metrics used
+// throughout the paper's evaluation: Weighted Speedup (WS, Equation 2),
+// Harmonic-mean Speedup (HS, Equation 6), Unfairness (Equation 7), the
+// geometric mean of speedups, and the blended throughput/fairness
+// rewards of §6.4.
+package metrics
+
+import "math"
+
+// WS returns the Weighted Speedup: the sum of per-core speedups.
+func WS(speedups []float64) float64 {
+	var t float64
+	for _, s := range speedups {
+		t += s
+	}
+	return t
+}
+
+// AM returns the arithmetic-mean speedup (WS normalized by core count).
+func AM(speedups []float64) float64 {
+	if len(speedups) == 0 {
+		return 0
+	}
+	return WS(speedups) / float64(len(speedups))
+}
+
+// HS returns the Harmonic-mean Speedup: n / Σ(1/S_i). HS emphasizes
+// fairness — improving one core has quickly diminishing returns.
+func HS(speedups []float64) float64 {
+	if len(speedups) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, s := range speedups {
+		if s <= 0 {
+			return 0
+		}
+		inv += 1 / s
+	}
+	return float64(len(speedups)) / inv
+}
+
+// GM returns the geometric mean of speedups.
+func GM(speedups []float64) float64 {
+	if len(speedups) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, s := range speedups {
+		if s <= 0 {
+			return 0
+		}
+		logSum += math.Log(s)
+	}
+	return math.Exp(logSum / float64(len(speedups)))
+}
+
+// Unfairness returns max(S)/min(S) (Equation 7): the maximum degree to
+// which one workload is prioritized over another. 1.0 is perfectly
+// fair.
+func Unfairness(speedups []float64) float64 {
+	if len(speedups) == 0 {
+		return 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range speedups {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if lo <= 0 {
+		return math.Inf(1)
+	}
+	return hi / lo
+}
+
+// Speedups divides element-wise: S_i = ipc[i] / base[i]. It panics on
+// length mismatch (a harness bug) and returns 0 for zero baselines.
+func Speedups(ipc, base []float64) []float64 {
+	if len(ipc) != len(base) {
+		panic("metrics: ipc/base length mismatch")
+	}
+	out := make([]float64, len(ipc))
+	for i := range ipc {
+		if base[i] > 0 {
+			out[i] = ipc[i] / base[i]
+		}
+	}
+	return out
+}
+
+// Blend returns (1-alpha)·AM + alpha·HS, the reward family of §6.4
+// (µMama-WS, -25, -50, -75, -HS). WS is normalized to the arithmetic
+// mean so that alpha interpolates between quantities of the same scale.
+func Blend(speedups []float64, alpha float64) float64 {
+	return (1-alpha)*AM(speedups) + alpha*HS(speedups)
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"micromama/internal/xrand"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestWS(t *testing.T) {
+	if got := WS([]float64{0.5, 1.5, 1.0}); !almost(got, 3.0) {
+		t.Errorf("WS = %g, want 3", got)
+	}
+	if got := WS(nil); got != 0 {
+		t.Errorf("WS(nil) = %g, want 0", got)
+	}
+}
+
+func TestAM(t *testing.T) {
+	if got := AM([]float64{0.5, 1.5}); !almost(got, 1.0) {
+		t.Errorf("AM = %g, want 1", got)
+	}
+	if got := AM(nil); got != 0 {
+		t.Errorf("AM(nil) = %g, want 0", got)
+	}
+}
+
+func TestHS(t *testing.T) {
+	// HS of {1,1} is 1; HS of {0.5, 1.5} = 2/(2+2/3) = 0.75.
+	if got := HS([]float64{1, 1}); !almost(got, 1) {
+		t.Errorf("HS = %g, want 1", got)
+	}
+	if got := HS([]float64{0.5, 1.5}); !almost(got, 0.75) {
+		t.Errorf("HS = %g, want 0.75", got)
+	}
+	if got := HS([]float64{1, 0}); got != 0 {
+		t.Errorf("HS with zero speedup = %g, want 0", got)
+	}
+}
+
+func TestGM(t *testing.T) {
+	if got := GM([]float64{4, 1}); !almost(got, 2) {
+		t.Errorf("GM = %g, want 2", got)
+	}
+	if got := GM([]float64{2, 0}); got != 0 {
+		t.Errorf("GM with zero = %g, want 0", got)
+	}
+}
+
+func TestUnfairness(t *testing.T) {
+	if got := Unfairness([]float64{0.5, 1.0, 2.0}); !almost(got, 4) {
+		t.Errorf("Unfairness = %g, want 4", got)
+	}
+	if got := Unfairness([]float64{1, 1}); !almost(got, 1) {
+		t.Errorf("Unfairness of equal = %g, want 1", got)
+	}
+	if got := Unfairness([]float64{0, 1}); !math.IsInf(got, 1) {
+		t.Errorf("Unfairness with zero = %g, want +Inf", got)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	got := Speedups([]float64{2, 3}, []float64{1, 2})
+	if !almost(got[0], 2) || !almost(got[1], 1.5) {
+		t.Errorf("Speedups = %v", got)
+	}
+	got = Speedups([]float64{2}, []float64{0})
+	if got[0] != 0 {
+		t.Errorf("Speedups with zero base = %v, want 0", got)
+	}
+}
+
+func TestSpeedupsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Speedups([]float64{1}, []float64{1, 2})
+}
+
+func TestBlendEndpoints(t *testing.T) {
+	s := []float64{0.5, 1.5, 1.0}
+	if got := Blend(s, 0); !almost(got, AM(s)) {
+		t.Errorf("Blend(0) = %g, want AM %g", got, AM(s))
+	}
+	if got := Blend(s, 1); !almost(got, HS(s)) {
+		t.Errorf("Blend(1) = %g, want HS %g", got, HS(s))
+	}
+}
+
+func randSpeedups(r *xrand.RNG, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 0.05 + 3*r.Float64()
+	}
+	return s
+}
+
+// Property: WS is homogeneous — WS(c·S) = c·WS(S). This is what lets
+// µMama drop the common multiplicative terms in Equation 4.
+func TestQuickWSHomogeneous(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := randSpeedups(&r, 1+int(seed%8))
+		c := 0.1 + 5*r.Float64()
+		scaled := make([]float64, len(s))
+		for i := range s {
+			scaled[i] = c * s[i]
+		}
+		return math.Abs(WS(scaled)-c*WS(s)) < 1e-9*(1+math.Abs(WS(s)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HS ≤ GM ≤ AM for positive speedups (mean inequality chain).
+func TestQuickMeanInequality(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := randSpeedups(&r, 2+int(seed%7))
+		hs, gm, am := HS(s), GM(s), AM(s)
+		return hs <= gm+1e-9 && gm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unfairness ≥ 1 and equals 1 iff all speedups equal.
+func TestQuickUnfairnessAtLeastOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := randSpeedups(&r, 1+int(seed%8))
+		return Unfairness(s) >= 1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Blend is monotone between its endpoints — for any alpha in
+// [0,1], Blend lies between HS and AM.
+func TestQuickBlendBetween(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := randSpeedups(&r, 2+int(seed%6))
+		a := r.Float64()
+		b := Blend(s, a)
+		lo, hi := HS(s), AM(s)
+		return b >= lo-1e-9 && b <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Package noc models the on-chip network used by the µMama unit to talk
+// to the local prefetcher agents. The paper (§4.3, §4.4.2) shows the
+// traffic is tiny (27 bytes per agent per timestep, 2 bytes on the
+// critical path) and the design is latency tolerant, so the model is a
+// constant-latency message fabric with byte accounting; the critical
+// path between the majority-completing agent and the broadcast that
+// starts the next timestep is modeled as a single constant (200 cycles
+// in the paper's evaluation).
+package noc
+
+// Config describes the fabric.
+type Config struct {
+	// CriticalPathCycles is the round-trip from a local agent marking
+	// itself ready to the µMama unit's broadcast arriving (paper: 200).
+	CriticalPathCycles uint64
+	// HopCycles is the one-way latency for non-critical messages (fully
+	// hidden behind the ongoing timestep in µMama's schedule).
+	HopCycles uint64
+}
+
+// DefaultConfig matches the paper's evaluation.
+func DefaultConfig() Config {
+	return Config{CriticalPathCycles: 200, HopCycles: 50}
+}
+
+// Stats counts traffic.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+// Network is a constant-latency message fabric with byte accounting.
+type Network struct {
+	cfg   Config
+	stats Stats
+}
+
+// New constructs a Network.
+func New(cfg Config) *Network { return &Network{cfg: cfg} }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Send records a message of the given size and returns its arrival time.
+func (n *Network) Send(now uint64, bytes uint64) (arrive uint64) {
+	n.stats.Messages++
+	n.stats.Bytes += bytes
+	return now + n.cfg.HopCycles
+}
+
+// Broadcast records a message to each of fanout receivers and returns
+// the arrival time (receivers get it simultaneously in this model).
+func (n *Network) Broadcast(now uint64, bytes uint64, fanout int) (arrive uint64) {
+	n.stats.Messages += uint64(fanout)
+	n.stats.Bytes += bytes * uint64(fanout)
+	return now + n.cfg.HopCycles
+}
+
+// CriticalPath returns the cycle at which a new timestep can begin after
+// the deciding agent became ready at cycle now (paper Figure 8: one
+// agent→unit message plus one broadcast).
+func (n *Network) CriticalPath(now uint64) uint64 {
+	n.stats.Messages += 2
+	n.stats.Bytes += 2 // the paper's 2-byte critical-path exchange
+	return now + n.cfg.CriticalPathCycles
+}
+
+// PerStepBytes is the per-agent per-timestep traffic reported by the
+// paper (§4.4.2): r_i and δ_i samples, policy instructions, and sync
+// messages.
+const PerStepBytes = 27

@@ -1,0 +1,47 @@
+package noc
+
+import "testing"
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.CriticalPathCycles != 200 {
+		t.Errorf("CriticalPathCycles = %d, want the paper's 200", cfg.CriticalPathCycles)
+	}
+}
+
+func TestSendAccountsTraffic(t *testing.T) {
+	n := New(Config{CriticalPathCycles: 200, HopCycles: 50})
+	arrive := n.Send(1000, 27)
+	if arrive != 1050 {
+		t.Errorf("Send arrival = %d, want 1050", arrive)
+	}
+	st := n.Stats()
+	if st.Messages != 1 || st.Bytes != 27 {
+		t.Errorf("stats = %+v, want 1 message / 27 bytes", st)
+	}
+}
+
+func TestBroadcastFanout(t *testing.T) {
+	n := New(DefaultConfig())
+	n.Broadcast(0, 27, 8)
+	st := n.Stats()
+	if st.Messages != 8 || st.Bytes != 27*8 {
+		t.Errorf("broadcast stats = %+v", st)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	n := New(DefaultConfig())
+	if got := n.CriticalPath(5000); got != 5200 {
+		t.Errorf("CriticalPath = %d, want 5200", got)
+	}
+	if st := n.Stats(); st.Bytes != 2 {
+		t.Errorf("critical path should move the paper's 2 bytes, got %d", st.Bytes)
+	}
+}
+
+func TestPerStepBytesMatchesPaper(t *testing.T) {
+	if PerStepBytes != 27 {
+		t.Errorf("PerStepBytes = %d, want the paper's 27", PerStepBytes)
+	}
+}

@@ -1,0 +1,348 @@
+// Package plot renders minimal, dependency-free SVG charts — line, bar,
+// and scatter — used by cmd/mamabench to emit graphical versions of the
+// paper's figures alongside the text tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart geometry (viewBox units).
+const (
+	width   = 640
+	height  = 400
+	marginL = 70
+	marginR = 20
+	marginT = 40
+	marginB = 55
+)
+
+// palette cycles across series.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f"}
+
+// Series is one named line or point set.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// NiceTicks returns ~n "nice" tick positions covering [lo, hi].
+func NiceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = math.Abs(hi)
+		if span == 0 {
+			span = 1
+		}
+		lo, hi = lo-span/2, hi+span/2
+		span = hi - lo
+	}
+	raw := span / float64(n-1)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	first := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := first; v <= hi+step*1e-9; v += step {
+		// Clean floating point noise.
+		ticks = append(ticks, math.Round(v/step)*step)
+	}
+	return ticks
+}
+
+type scale struct {
+	lo, hi float64
+	px0    float64
+	px1    float64
+}
+
+func (s scale) at(v float64) float64 {
+	if s.hi == s.lo {
+		return (s.px0 + s.px1) / 2
+	}
+	return s.px0 + (v-s.lo)/(s.hi-s.lo)*(s.px1-s.px0)
+}
+
+func dataRange(series []Series, getY bool) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		vals := s.X
+		if getY {
+			vals = s.Y
+		}
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if lo == hi {
+		lo, hi = lo-0.5, hi+0.5
+	}
+	return lo, hi
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+type svgBuilder struct{ strings.Builder }
+
+func (b *svgBuilder) open(title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(b, `<text x="%d" y="22" text-anchor="middle" font-size="15">%s</text>`, width/2, esc(title))
+}
+
+func (b *svgBuilder) axes(xs, ys scale, xTicks, yTicks []float64, xLabel, yLabel string) {
+	// Frame.
+	fmt.Fprintf(b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#333"/>`,
+		xs.px0, ys.px1, xs.px1-xs.px0, ys.px0-ys.px1)
+	for _, t := range xTicks {
+		x := xs.at(t)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%g" x2="%.1f" y2="%g" stroke="#333"/>`, x, ys.px0, x, ys.px0+5)
+		fmt.Fprintf(b, `<text x="%.1f" y="%g" text-anchor="middle">%s</text>`, x, ys.px0+18, fmtTick(t))
+	}
+	for _, t := range yTicks {
+		y := ys.at(t)
+		fmt.Fprintf(b, `<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="#333"/>`, xs.px0-5, y, xs.px0, y)
+		fmt.Fprintf(b, `<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="#eee"/>`, xs.px0, y, xs.px1, y)
+		fmt.Fprintf(b, `<text x="%g" y="%.1f" text-anchor="end" dy="4">%s</text>`, xs.px0-8, y, fmtTick(t))
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`, width/2, height-12, esc(xLabel))
+	fmt.Fprintf(b, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+		height/2, height/2, esc(yLabel))
+}
+
+func (b *svgBuilder) legend(names []string) {
+	x := float64(marginL + 10)
+	y := float64(marginT + 8)
+	for i, n := range names {
+		c := palette[i%len(palette)]
+		fmt.Fprintf(b, `<rect x="%g" y="%g" width="10" height="10" fill="%s"/>`, x, y, c)
+		fmt.Fprintf(b, `<text x="%g" y="%g">%s</text>`, x+14, y+9, esc(n))
+		y += 16
+	}
+}
+
+func (b *svgBuilder) close() { b.WriteString("</svg>") }
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Line renders a multi-series line chart (markers included).
+func Line(title, xLabel, yLabel string, series []Series) string {
+	var b svgBuilder
+	b.open(title)
+	xlo, xhi := dataRange(series, false)
+	ylo, yhi := dataRange(series, true)
+	xTicks := NiceTicks(xlo, xhi, 6)
+	yTicks := NiceTicks(ylo, yhi, 6)
+	xs := scale{lo: min2(xlo, xTicks[0]), hi: max2(xhi, xTicks[len(xTicks)-1]), px0: marginL, px1: width - marginR}
+	ys := scale{lo: min2(ylo, yTicks[0]), hi: max2(yhi, yTicks[len(yTicks)-1]), px0: height - marginB, px1: marginT}
+	b.axes(xs, ys, xTicks, yTicks, xLabel, yLabel)
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+		c := palette[i%len(palette)]
+		var pts []string
+		for k := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xs.at(s.X[k]), ys.at(s.Y[k])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`, strings.Join(pts, " "), c)
+		}
+		for k := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, xs.at(s.X[k]), ys.at(s.Y[k]), c)
+		}
+	}
+	b.legend(names)
+	b.close()
+	return b.String()
+}
+
+// Scatter renders labeled points (e.g. the Figure 14 frontier).
+func Scatter(title, xLabel, yLabel string, series []Series) string {
+	var b svgBuilder
+	b.open(title)
+	xlo, xhi := dataRange(series, false)
+	ylo, yhi := dataRange(series, true)
+	xTicks := NiceTicks(xlo, xhi, 6)
+	yTicks := NiceTicks(ylo, yhi, 6)
+	xs := scale{lo: min2(xlo, xTicks[0]), hi: max2(xhi, xTicks[len(xTicks)-1]), px0: marginL, px1: width - marginR}
+	ys := scale{lo: min2(ylo, yTicks[0]), hi: max2(yhi, yTicks[len(yTicks)-1]), px0: height - marginB, px1: marginT}
+	b.axes(xs, ys, xTicks, yTicks, xLabel, yLabel)
+	for i, s := range series {
+		c := palette[i%len(palette)]
+		for k := range s.X {
+			x, y := xs.at(s.X[k]), ys.at(s.Y[k])
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="5" fill="%s"/>`, x, y, c)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`, x+7, y+4, esc(s.Name))
+		}
+	}
+	b.close()
+	return b.String()
+}
+
+// BarGroup is one cluster of bars sharing an x label.
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// Bar renders grouped bars; seriesNames labels the bars within each
+// group (legend).
+func Bar(title, yLabel string, seriesNames []string, groups []BarGroup) string {
+	var b svgBuilder
+	b.open(title)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, g := range groups {
+		for _, v := range g.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	yTicks := NiceTicks(lo, hi, 6)
+	ys := scale{lo: min2(lo, yTicks[0]), hi: max2(hi, yTicks[len(yTicks)-1]), px0: height - marginB, px1: marginT}
+	xs := scale{lo: 0, hi: 1, px0: marginL, px1: width - marginR}
+	b.axes(xs, ys, nil, yTicks, "", yLabel)
+
+	groupW := (xs.px1 - xs.px0) / float64(len(groups))
+	for gi, g := range groups {
+		barW := groupW * 0.8 / float64(len(g.Values))
+		x0 := xs.px0 + float64(gi)*groupW + groupW*0.1
+		for vi, v := range g.Values {
+			c := palette[vi%len(palette)]
+			y := ys.at(v)
+			zero := ys.at(0)
+			top, h := y, zero-y
+			if h < 0 {
+				top, h = zero, -h
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+				x0+float64(vi)*barW, top, barW-2, h, c)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%g" text-anchor="middle">%s</text>`,
+			x0+groupW*0.4, ys.px0+18, esc(g.Label))
+	}
+	b.legend(seriesNames)
+	b.close()
+	return b.String()
+}
+
+// Steps renders per-core policy timelines (the paper's Figures 2/4/12):
+// X is time, Y the policy id, one step-line per core; dictated samples
+// (when marked) are drawn hollow.
+type StepSample struct {
+	X      float64
+	Y      float64
+	Hollow bool
+}
+
+// StepSeries is one core's policy timeline.
+type StepSeries struct {
+	Name    string
+	Samples []StepSample
+}
+
+// StepChart renders policy timelines.
+func StepChart(title, xLabel, yLabel string, series []StepSeries, yMax float64) string {
+	var b svgBuilder
+	b.open(title)
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Samples {
+			if p.X < xlo {
+				xlo = p.X
+			}
+			if p.X > xhi {
+				xhi = p.X
+			}
+		}
+	}
+	if math.IsInf(xlo, 1) {
+		xlo, xhi = 0, 1
+	}
+	xTicks := NiceTicks(xlo, xhi, 6)
+	yTicks := NiceTicks(0, yMax, 6)
+	xs := scale{lo: min2(xlo, xTicks[0]), hi: max2(xhi, xTicks[len(xTicks)-1]), px0: marginL, px1: width - marginR}
+	ys := scale{lo: 0, hi: max2(yMax, yTicks[len(yTicks)-1]), px0: height - marginB, px1: marginT}
+	b.axes(xs, ys, xTicks, yTicks, xLabel, yLabel)
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+		c := palette[i%len(palette)]
+		for k, p := range s.Samples {
+			x, y := xs.at(p.X), ys.at(p.Y)
+			if k > 0 {
+				prev := s.Samples[k-1]
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+					xs.at(prev.X), ys.at(prev.Y), x, ys.at(prev.Y), c)
+			}
+			if p.Hollow {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="white" stroke="%s"/>`, x, y, c)
+			} else {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, x, y, c)
+			}
+		}
+	}
+	b.legend(names)
+	b.close()
+	return b.String()
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNiceTicksCoverRange(t *testing.T) {
+	ticks := NiceTicks(0, 10, 6)
+	if len(ticks) < 3 {
+		t.Fatalf("too few ticks: %v", ticks)
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 10+1e-9 {
+		t.Errorf("ticks escape the range: %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Errorf("ticks not increasing: %v", ticks)
+		}
+	}
+}
+
+func TestNiceTicksDegenerate(t *testing.T) {
+	if ticks := NiceTicks(5, 5, 5); len(ticks) == 0 {
+		t.Error("no ticks for degenerate range")
+	}
+	if ticks := NiceTicks(3, 1, 4); len(ticks) == 0 {
+		t.Error("no ticks for reversed range")
+	}
+}
+
+func TestQuickNiceTicksSorted(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a != a || b != b || a < -1e12 || a > 1e12 || b < -1e12 || b > 1e12 {
+			return true // skip NaN / extreme inputs
+		}
+		ticks := NiceTicks(a, b, 5)
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, tag := range []string{"rect", "text"} {
+		if !strings.Contains(svg, "<"+tag) {
+			t.Errorf("missing <%s>", tag)
+		}
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	svg := Line("t", "x", "y", []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 2}},
+		{Name: "b", X: []float64{1, 2, 3}, Y: []float64{2, 1, 5}},
+	})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "polyline") {
+		t.Error("line chart has no polylines")
+	}
+	if strings.Count(svg, "polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(svg, "polyline"))
+	}
+}
+
+func TestScatterChart(t *testing.T) {
+	svg := Scatter("frontier", "WS", "fairness", []Series{
+		{Name: "µmama", X: []float64{2.8}, Y: []float64{-1.9}},
+		{Name: "bandit", X: []float64{2.85}, Y: []float64{-2.6}},
+	})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "µmama") {
+		t.Error("point label missing")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	svg := Bar("fig15a", "WS vs bandit", []string{"v"}, []BarGroup{
+		{Label: "GRW", Values: []float64{0.1}},
+		{Label: "JAV", Values: []float64{1.5}},
+		{Label: "full", Values: []float64{-0.4}}, // negative bars supported
+	})
+	wellFormed(t, svg)
+	if strings.Count(svg, "<rect") < 4 { // background + frame + 3 bars
+		t.Error("missing bars")
+	}
+}
+
+func TestStepChart(t *testing.T) {
+	svg := StepChart("fig12", "cycles", "policy", []StepSeries{
+		{Name: "core 0", Samples: []StepSample{{X: 0, Y: 3}, {X: 100, Y: 5, Hollow: true}}},
+	}, 16)
+	wellFormed(t, svg)
+	if !strings.Contains(svg, `fill="white"`) {
+		t.Error("hollow (dictated) marker missing")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	svg := Line(`<&">`, "x", "y", []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}})
+	if strings.Contains(svg, `<text x="320" y="22" text-anchor="middle" font-size="15"><&">`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;&amp;&quot;&gt;") {
+		t.Error("escaped title missing")
+	}
+}

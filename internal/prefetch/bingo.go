@@ -1,0 +1,114 @@
+package prefetch
+
+// Bingo spatial prefetcher (Bakhshalipour et al., HPCA'19), reimplemented
+// from the paper's description. Bingo records the footprint of cache
+// lines touched within a spatial region during its "generation" (from
+// first access until the region goes cold), associates that footprint
+// with the triggering event, and replays it on the next trigger. Lookup
+// uses the most specific matching event first (PC+Address), falling back
+// to PC+Offset — Bingo's signature "long events where possible, short
+// events otherwise" design.
+
+const (
+	bingoRegionBytes  = 2048
+	bingoLinesPerReg  = bingoRegionBytes / LineBytes // 32
+	bingoAccTableSize = 64
+	bingoHistorySize  = 2048
+)
+
+type bingoGeneration struct {
+	footprint  uint32 // bit per line in the region
+	triggerPC  uint64
+	triggerOff int // line offset of the trigger within the region
+}
+
+// Bingo is the spatial footprint prefetcher.
+type Bingo struct {
+	acc     *lruTable[bingoGeneration]
+	history *lruTable[uint32] // event key -> footprint
+
+	// stats
+	Trained   uint64
+	Triggered uint64
+}
+
+// NewBingo constructs a Bingo prefetcher with the default table sizes.
+func NewBingo() *Bingo {
+	return &Bingo{
+		acc:     newLRUTable[bingoGeneration](bingoAccTableSize),
+		history: newLRUTable[uint32](bingoHistorySize),
+	}
+}
+
+// Name implements Prefetcher.
+func (b *Bingo) Name() string { return "bingo" }
+
+func bingoPCAddrKey(pc, region uint64, off int) uint64 {
+	return mix64(pc<<20 ^ region<<5 ^ uint64(off) ^ 0xB1)
+}
+
+func bingoPCOffKey(pc uint64, off int) uint64 {
+	return mix64(pc<<6 ^ uint64(off) ^ 0xB2)
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// OnAccess implements Prefetcher.
+func (b *Bingo) OnAccess(pc, addr uint64, hit bool, dst []uint64) []uint64 {
+	region := addr / bingoRegionBytes
+	off := int((addr % bingoRegionBytes) / LineBytes)
+
+	if gen, ok := b.acc.Get(region); ok {
+		// Ongoing generation: extend the footprint.
+		gen.footprint |= 1 << uint(off)
+		b.acc.Put(region, gen)
+		return dst
+	}
+
+	// New generation triggered. Commit whatever generation we displace.
+	gen := bingoGeneration{footprint: 1 << uint(off), triggerPC: pc, triggerOff: off}
+	if oldKey, oldGen, evicted := b.acc.Put(region, gen); evicted {
+		b.commit(oldKey, oldGen)
+	}
+
+	// Predict: longest event first.
+	fp, ok := b.history.Get(bingoPCAddrKey(pc, region, off))
+	if !ok {
+		fp, ok = b.history.Get(bingoPCOffKey(pc, off))
+	}
+	if !ok {
+		return dst
+	}
+	b.Triggered++
+	base := region * bingoRegionBytes
+	for i := 0; i < bingoLinesPerReg; i++ {
+		if i == off || fp&(1<<uint(i)) == 0 {
+			continue
+		}
+		dst = append(dst, base+uint64(i)*LineBytes)
+	}
+	return dst
+}
+
+// commit stores a finished generation's footprint under both event keys.
+func (b *Bingo) commit(region uint64, gen bingoGeneration) {
+	if gen.footprint == 0 {
+		return
+	}
+	b.Trained++
+	b.history.Put(bingoPCAddrKey(gen.triggerPC, region, gen.triggerOff), gen.footprint)
+	// Merge into the short event so it generalizes across regions.
+	short := bingoPCOffKey(gen.triggerPC, gen.triggerOff)
+	if prev, ok := b.history.Peek(short); ok {
+		b.history.Put(short, prev|gen.footprint)
+	} else {
+		b.history.Put(short, gen.footprint)
+	}
+}

@@ -1,0 +1,90 @@
+package prefetch
+
+import "testing"
+
+// touchRegion walks a footprint of line offsets within one region,
+// starting a fresh generation.
+func touchRegion(b *Bingo, pc, region uint64, offsets []int) {
+	for _, off := range offsets {
+		b.OnAccess(pc, region*bingoRegionBytes+uint64(off)*LineBytes, false, nil)
+	}
+}
+
+func TestBingoLearnsAndReplaysFootprint(t *testing.T) {
+	b := NewBingo()
+	pc := uint64(0x400)
+	footprint := []int{0, 3, 5, 9}
+
+	// Fill the accumulation table past capacity so region 1's
+	// generation commits to history.
+	touchRegion(b, pc, 1, footprint)
+	for r := uint64(2); r < 2+bingoAccTableSize; r++ {
+		touchRegion(b, pc, r, []int{0})
+	}
+
+	// A new trigger with the same PC+offset replays the footprint.
+	got := b.OnAccess(pc, 5000*bingoRegionBytes, false, nil)
+	want := map[uint64]bool{}
+	for _, off := range footprint[1:] { // trigger line itself excluded
+		want[5000*bingoRegionBytes+uint64(off)*LineBytes] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d lines (%#v), want %d", len(got), got, len(want))
+	}
+	for _, a := range got {
+		if !want[a] {
+			t.Errorf("unexpected prefetch %#x", a)
+		}
+	}
+	if b.Trained == 0 || b.Triggered == 0 {
+		t.Errorf("stats: trained=%d triggered=%d", b.Trained, b.Triggered)
+	}
+}
+
+func TestBingoNoHistoryNoPrefetch(t *testing.T) {
+	b := NewBingo()
+	if got := b.OnAccess(0x400, 0x100000, false, nil); len(got) != 0 {
+		t.Errorf("cold Bingo prefetched %#v", got)
+	}
+}
+
+func TestBingoDifferentPCDoesNotMatch(t *testing.T) {
+	b := NewBingo()
+	touchRegion(b, 0x400, 1, []int{0, 2, 4})
+	for r := uint64(2); r < 2+bingoAccTableSize; r++ {
+		touchRegion(b, 0x400, r, []int{0})
+	}
+	// Same offset, different PC: the short event key differs.
+	if got := b.OnAccess(0x999, 7777*bingoRegionBytes, false, nil); len(got) != 0 {
+		t.Errorf("footprint replayed for wrong PC: %#v", got)
+	}
+}
+
+func TestBingoAccumulatesWithinGeneration(t *testing.T) {
+	b := NewBingo()
+	// Accesses within an ongoing generation never prefetch (the region
+	// is being recorded).
+	touchRegion(b, 0x400, 1, []int{0})
+	if got := b.OnAccess(0x400, 1*bingoRegionBytes+3*LineBytes, false, nil); len(got) != 0 {
+		t.Errorf("in-generation access prefetched %#v", got)
+	}
+}
+
+func TestBingoPCAddressBeatsPCOffset(t *testing.T) {
+	b := NewBingo()
+	pc := uint64(0x400)
+	// Region 1 trained with a big footprint via PC+Address (exact region).
+	touchRegion(b, pc, 1, []int{0, 1, 2, 3})
+	// Region 2 trained with a smaller one at the same trigger offset.
+	touchRegion(b, pc, 2, []int{0, 7})
+	// Flush both generations.
+	for r := uint64(10); r < 10+bingoAccTableSize; r++ {
+		touchRegion(b, pc, r, []int{1})
+	}
+	// Re-trigger region 1 at offset 0: the long event (PC+Address for
+	// region 1) must be preferred over the merged short event.
+	got := b.OnAccess(pc, 1*bingoRegionBytes, false, nil)
+	if len(got) != 3 {
+		t.Errorf("long-event replay returned %d lines (%#v), want 3", len(got), got)
+	}
+}

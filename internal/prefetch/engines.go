@@ -1,0 +1,198 @@
+package prefetch
+
+// Simple table-based engines: next-line, PC-local stride, and a
+// page-stream detector. Degrees are mutable at runtime because the
+// Bandit/µMama controllers reconfigure them every timestep.
+
+// NextLine prefetches the line after every access when enabled.
+type NextLine struct {
+	Enabled bool
+}
+
+// NewNextLine constructs a next-line prefetcher.
+func NewNextLine(enabled bool) *NextLine { return &NextLine{Enabled: enabled} }
+
+// Name implements Prefetcher.
+func (n *NextLine) Name() string { return "next_line" }
+
+// OnAccess implements Prefetcher.
+func (n *NextLine) OnAccess(pc, addr uint64, hit bool, dst []uint64) []uint64 {
+	if !n.Enabled {
+		return dst
+	}
+	return append(dst, lineAlign(addr)+LineBytes)
+}
+
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     int8
+	valid    bool
+}
+
+// Stride is a PC-local stride prefetcher with a direct-mapped training
+// table. A PC whose consecutive accesses repeat the same byte stride
+// (confidence >= 2) triggers Degree prefetches ahead.
+//
+// In lineGranular mode (used by the L1D ip_stride prefetcher, matching
+// ChampSim's) strides are computed between cache-line addresses and
+// zero deltas (same-line accesses) neither train nor reset confidence,
+// so dense sub-line streams train a line stride of 1.
+type Stride struct {
+	Degree       int
+	entries      []strideEntry
+	mask         uint64
+	label        string
+	lineGranular bool
+}
+
+// NewStride constructs a stride prefetcher with the given table size
+// (power of two) and initial degree.
+func NewStride(label string, tableSize, degree int) *Stride {
+	if tableSize <= 0 || tableSize&(tableSize-1) != 0 {
+		panic("prefetch: stride table size must be a positive power of two")
+	}
+	return &Stride{
+		Degree:  degree,
+		entries: make([]strideEntry, tableSize),
+		mask:    uint64(tableSize - 1),
+		label:   label,
+	}
+}
+
+// Name implements Prefetcher.
+func (s *Stride) Name() string { return s.label }
+
+// OnAccess implements Prefetcher. The table trains on every access even
+// when Degree is 0 so that re-enabling the engine is instant, matching
+// how the Bandit ensemble flips configurations every timestep.
+func (s *Stride) OnAccess(pc, addr uint64, hit bool, dst []uint64) []uint64 {
+	if s.lineGranular {
+		addr = lineAlign(addr)
+	}
+	e := &s.entries[(pc>>2)&s.mask]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr, valid: true}
+		return dst
+	}
+	delta := int64(addr) - int64(e.lastAddr)
+	if delta == 0 {
+		// Same address (or same line, in line-granular mode): neither
+		// train nor reset.
+		return dst
+	}
+	e.lastAddr = addr
+	if delta == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = delta
+		e.conf = 0
+		return dst
+	}
+	if e.conf < 2 || s.Degree <= 0 {
+		return dst
+	}
+	base := int64(lineAlign(addr))
+	prev := lineAlign(addr)
+	for k := 1; k <= s.Degree; k++ {
+		target := base + int64(k)*e.stride
+		if target <= 0 {
+			break
+		}
+		t := lineAlign(uint64(target))
+		if t != prev { // skip duplicates when stride < line size
+			dst = append(dst, t)
+			prev = t
+		}
+	}
+	return dst
+}
+
+type streamEntry struct {
+	page     uint64
+	lastLine int
+	dir      int8 // +1 ascending, -1 descending, 0 untrained
+	conf     int8
+	valid    bool
+}
+
+// Streamer detects sequential streams at page granularity and prefetches
+// Degree lines ahead in the stream direction (crossing page boundaries,
+// as hardware streamers chasing physical streams do within a region).
+type Streamer struct {
+	Degree  int
+	entries []streamEntry
+	mask    uint64
+	label   string
+}
+
+// NewStreamer constructs a streamer with the given tracking-table size
+// (power of two) and initial degree.
+func NewStreamer(label string, tableSize, degree int) *Streamer {
+	if tableSize <= 0 || tableSize&(tableSize-1) != 0 {
+		panic("prefetch: streamer table size must be a positive power of two")
+	}
+	return &Streamer{
+		Degree:  degree,
+		entries: make([]streamEntry, tableSize),
+		mask:    uint64(tableSize - 1),
+		label:   label,
+	}
+}
+
+// Name implements Prefetcher.
+func (s *Streamer) Name() string { return s.label }
+
+// OnAccess implements Prefetcher.
+func (s *Streamer) OnAccess(pc, addr uint64, hit bool, dst []uint64) []uint64 {
+	page := addr / PageBytes
+	line := int((addr % PageBytes) / LineBytes)
+	e := &s.entries[page&s.mask]
+	if !e.valid || e.page != page {
+		*e = streamEntry{page: page, lastLine: line, valid: true}
+		return dst
+	}
+	switch {
+	case line > e.lastLine:
+		if e.dir == 1 {
+			if e.conf < 3 {
+				e.conf++
+			}
+		} else {
+			e.dir, e.conf = 1, 0
+		}
+	case line < e.lastLine:
+		if e.dir == -1 {
+			if e.conf < 3 {
+				e.conf++
+			}
+		} else {
+			e.dir, e.conf = -1, 0
+		}
+	default:
+		return dst
+	}
+	e.lastLine = line
+	if e.conf < 1 || s.Degree <= 0 {
+		return dst
+	}
+	base := int64(lineAlign(addr))
+	for k := 1; k <= s.Degree; k++ {
+		target := base + int64(k)*int64(e.dir)*LineBytes
+		if target <= 0 {
+			break
+		}
+		dst = append(dst, uint64(target))
+	}
+	return dst
+}
+
+// NewIPStride constructs the 24-entry L1D ip_stride prefetcher from the
+// paper's Table 3 (a low-degree stride prefetcher, degree 2; byte-
+// granular, so dense sub-line streams are left to the L2 prefetchers —
+// the level the paper's agents control). 24 is not a power of two, so
+// the table is rounded up to 32 entries.
+func NewIPStride() *Stride { return NewStride("ip_stride", 32, 2) }

@@ -1,0 +1,169 @@
+package prefetch
+
+import (
+	"testing"
+)
+
+func collect(p Prefetcher, pc uint64, addrs []uint64) []uint64 {
+	var out []uint64
+	for _, a := range addrs {
+		out = p.OnAccess(pc, a, false, out[:0])
+		if len(out) > 0 {
+			// keep only the last access's candidates for assertions
+			cp := make([]uint64, len(out))
+			copy(cp, out)
+			out = cp
+		}
+	}
+	return out
+}
+
+func TestNone(t *testing.T) {
+	var n None
+	if got := n.OnAccess(1, 2, false, nil); len(got) != 0 {
+		t.Errorf("None prefetched %v", got)
+	}
+	if n.Name() != "none" {
+		t.Error("bad name")
+	}
+}
+
+func TestNextLine(t *testing.T) {
+	n := NewNextLine(true)
+	got := n.OnAccess(0, 0x1008, false, nil)
+	if len(got) != 1 || got[0] != 0x1040 {
+		t.Errorf("next-line candidates = %#v, want [0x1040]", got)
+	}
+	n.Enabled = false
+	if got := n.OnAccess(0, 0x1008, false, nil); len(got) != 0 {
+		t.Error("disabled next-line still prefetches")
+	}
+}
+
+func TestStrideDetection(t *testing.T) {
+	s := NewStride("s", 16, 2)
+	// Three accesses at stride 256 train the entry (conf 2), the fourth
+	// issues degree-2 prefetches.
+	addrs := []uint64{0x1000, 0x1100, 0x1200, 0x1300, 0x1400}
+	var last []uint64
+	for _, a := range addrs {
+		last = s.OnAccess(0x40, a, false, nil)
+	}
+	if len(last) != 2 {
+		t.Fatalf("stride candidates = %#v, want 2", last)
+	}
+	if last[0] != 0x1500 || last[1] != 0x1600 {
+		t.Errorf("stride targets = %#x, want [0x1500 0x1600]", last)
+	}
+}
+
+func TestStrideRetrainsAfterNoise(t *testing.T) {
+	s := NewStride("s", 16, 1)
+	pc := uint64(0x40)
+	for _, a := range []uint64{0x1000, 0x1100, 0x1200, 0x1300} {
+		s.OnAccess(pc, a, false, nil)
+	}
+	// Noise breaks the pattern.
+	s.OnAccess(pc, 0x999000, false, nil)
+	if got := s.OnAccess(pc, 0x1400, false, nil); len(got) != 0 {
+		t.Errorf("prefetched %#x right after noise", got)
+	}
+	// Pattern resumes: stride relearned after a few accesses.
+	s.OnAccess(pc, 0x1500, false, nil)
+	s.OnAccess(pc, 0x1600, false, nil)
+	if got := s.OnAccess(pc, 0x1700, false, nil); len(got) == 0 {
+		t.Error("stride did not retrain after noise")
+	}
+}
+
+func TestStrideZeroDegreeTrainsSilently(t *testing.T) {
+	s := NewStride("s", 16, 0)
+	for _, a := range []uint64{0x1000, 0x1100, 0x1200, 0x1300} {
+		if got := s.OnAccess(0x40, a, false, nil); len(got) != 0 {
+			t.Fatalf("degree-0 stride issued %#x", got)
+		}
+	}
+	// Turning the degree up takes effect immediately (table was trained).
+	s.Degree = 2
+	if got := s.OnAccess(0x40, 0x1400, false, nil); len(got) != 2 {
+		t.Errorf("after enabling degree: %#x", got)
+	}
+}
+
+func TestStrideSubLineDeduplicates(t *testing.T) {
+	s := NewStride("s", 16, 4)
+	for _, a := range []uint64{0x1000, 0x1008, 0x1010, 0x1018} {
+		s.OnAccess(0x40, a, false, nil)
+	}
+	got := s.OnAccess(0x40, 0x1020, false, nil)
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Errorf("duplicate candidate %#x", got[i])
+		}
+	}
+}
+
+func TestStreamerAscending(t *testing.T) {
+	st := NewStreamer("st", 16, 3)
+	page := uint64(0x40000)
+	var got []uint64
+	for i := 0; i < 4; i++ {
+		got = st.OnAccess(0, page+uint64(i)*64, false, nil)
+	}
+	if len(got) != 3 {
+		t.Fatalf("streamer candidates = %#v, want 3", got)
+	}
+	base := page + 3*64
+	for k, a := range got {
+		if a != base+uint64(k+1)*64 {
+			t.Errorf("candidate %d = %#x, want %#x", k, a, base+uint64(k+1)*64)
+		}
+	}
+}
+
+func TestStreamerDescending(t *testing.T) {
+	st := NewStreamer("st", 16, 2)
+	page := uint64(0x40000)
+	var got []uint64
+	for i := 10; i >= 7; i-- {
+		got = st.OnAccess(0, page+uint64(i)*64, false, nil)
+	}
+	if len(got) != 2 {
+		t.Fatalf("descending stream not detected: %#v", got)
+	}
+	if got[0] != page+6*64 || got[1] != page+5*64 {
+		t.Errorf("descending candidates = %#x", got)
+	}
+}
+
+func TestStreamerSamelineNoTrigger(t *testing.T) {
+	st := NewStreamer("st", 16, 2)
+	page := uint64(0x40000)
+	st.OnAccess(0, page, false, nil)
+	if got := st.OnAccess(0, page+8, false, nil); len(got) != 0 {
+		t.Errorf("same-line access triggered streamer: %#v", got)
+	}
+}
+
+func TestIPStride(t *testing.T) {
+	s := NewIPStride()
+	if s.Degree != 2 {
+		t.Errorf("ip_stride degree = %d, want 2", s.Degree)
+	}
+}
+
+func TestTableSizePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewStride("x", 3, 1) },
+		func() { NewStreamer("x", 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("non-power-of-two table size did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,108 @@
+package prefetch
+
+import "fmt"
+
+// Arm is one configuration of the L2 prefetcher ensemble: whether the
+// next-line prefetcher is on and the degrees of the stride and streamer
+// prefetchers. Arm 0 disables everything.
+type Arm struct {
+	NextLine  bool
+	StrideDeg int
+	StreamDeg int
+}
+
+// TotalDegree is the summed aggressiveness of the arm, used to order
+// policies from least to most aggressive (paper figures 2/4/12 sort the
+// Y axis this way).
+func (a Arm) TotalDegree() int {
+	d := a.StrideDeg + a.StreamDeg
+	if a.NextLine {
+		d++
+	}
+	return d
+}
+
+// String renders the arm compactly.
+func (a Arm) String() string {
+	nl := 0
+	if a.NextLine {
+		nl = 1
+	}
+	return fmt.Sprintf("nl=%d stride=%d stream=%d", nl, a.StrideDeg, a.StreamDeg)
+}
+
+// Arms is the paper's Table 2: the 17 Bandit arms used in every
+// experiment, ordered by total degree (least to most aggressive).
+var Arms = [17]Arm{
+	{NextLine: false, StrideDeg: 0, StreamDeg: 0},   // 0: off
+	{NextLine: true, StrideDeg: 0, StreamDeg: 0},    // 1
+	{NextLine: false, StrideDeg: 0, StreamDeg: 2},   // 2
+	{NextLine: false, StrideDeg: 0, StreamDeg: 3},   // 3
+	{NextLine: false, StrideDeg: 2, StreamDeg: 2},   // 4
+	{NextLine: false, StrideDeg: 0, StreamDeg: 4},   // 5
+	{NextLine: false, StrideDeg: 2, StreamDeg: 3},   // 6
+	{NextLine: false, StrideDeg: 0, StreamDeg: 5},   // 7
+	{NextLine: false, StrideDeg: 0, StreamDeg: 6},   // 8
+	{NextLine: false, StrideDeg: 0, StreamDeg: 7},   // 9
+	{NextLine: true, StrideDeg: 0, StreamDeg: 6},    // 10
+	{NextLine: false, StrideDeg: 4, StreamDeg: 4},   // 11
+	{NextLine: false, StrideDeg: 4, StreamDeg: 5},   // 12
+	{NextLine: false, StrideDeg: 8, StreamDeg: 6},   // 13
+	{NextLine: false, StrideDeg: 0, StreamDeg: 15},  // 14
+	{NextLine: false, StrideDeg: 8, StreamDeg: 7},   // 15
+	{NextLine: false, StrideDeg: 15, StreamDeg: 15}, // 16: max
+}
+
+// NumArms is the size of the local agents' action space.
+const NumArms = len(Arms)
+
+// Ensemble is the L2 prefetcher controlled by a Bandit agent: a
+// next-line, a stride, and a streamer engine whose configuration is
+// switched between the 17 arms of Table 2.
+type Ensemble struct {
+	nextLine *NextLine
+	stride   *Stride
+	streamer *Streamer
+	arm      int
+}
+
+// NewEnsemble constructs an ensemble with 64-entry stride and streamer
+// tables (paper Table 1) set to arm 0 (everything off).
+func NewEnsemble() *Ensemble {
+	e := &Ensemble{
+		nextLine: NewNextLine(false),
+		stride:   NewStride("stride", 64, 0),
+		streamer: NewStreamer("streamer", 64, 0),
+	}
+	e.SetArm(0)
+	return e
+}
+
+// Name implements Prefetcher.
+func (e *Ensemble) Name() string { return "bandit_ensemble" }
+
+// Arm returns the currently applied arm index.
+func (e *Ensemble) Arm() int { return e.arm }
+
+// SetArm applies arm configuration id. It panics on out-of-range ids (a
+// controller bug).
+func (e *Ensemble) SetArm(id int) {
+	if id < 0 || id >= NumArms {
+		panic(fmt.Sprintf("prefetch: arm %d out of range [0,%d)", id, NumArms))
+	}
+	a := Arms[id]
+	e.nextLine.Enabled = a.NextLine
+	e.stride.Degree = a.StrideDeg
+	e.streamer.Degree = a.StreamDeg
+	e.arm = id
+}
+
+// OnAccess implements Prefetcher, consulting all three engines. The
+// stride and streamer tables keep training even when their degree is 0
+// so arm switches take effect immediately.
+func (e *Ensemble) OnAccess(pc, addr uint64, hit bool, dst []uint64) []uint64 {
+	dst = e.nextLine.OnAccess(pc, addr, hit, dst)
+	dst = e.stride.OnAccess(pc, addr, hit, dst)
+	dst = e.streamer.OnAccess(pc, addr, hit, dst)
+	return dst
+}

@@ -1,0 +1,96 @@
+package prefetch
+
+import "testing"
+
+// TestArmsMatchPaperTable2 pins the ensemble configuration table to the
+// paper's Table 2, arm by arm.
+func TestArmsMatchPaperTable2(t *testing.T) {
+	want := []struct {
+		nl     bool
+		stride int
+		stream int
+	}{
+		{false, 0, 0}, {true, 0, 0}, {false, 0, 2}, {false, 0, 3},
+		{false, 2, 2}, {false, 0, 4}, {false, 2, 3}, {false, 0, 5},
+		{false, 0, 6}, {false, 0, 7}, {true, 0, 6}, {false, 4, 4},
+		{false, 4, 5}, {false, 8, 6}, {false, 0, 15}, {false, 8, 7},
+		{false, 15, 15},
+	}
+	if NumArms != 17 || len(want) != 17 {
+		t.Fatalf("NumArms = %d, want 17", NumArms)
+	}
+	for i, w := range want {
+		a := Arms[i]
+		if a.NextLine != w.nl || a.StrideDeg != w.stride || a.StreamDeg != w.stream {
+			t.Errorf("arm %d = %+v, want %+v", i, a, w)
+		}
+	}
+}
+
+func TestArmsOrderedByAggressiveness(t *testing.T) {
+	// The paper sorts policies from least (0) to most (16) aggressive.
+	if Arms[0].TotalDegree() != 0 {
+		t.Error("arm 0 should be fully off")
+	}
+	if Arms[16].TotalDegree() != 30 {
+		t.Errorf("arm 16 total degree = %d, want 30", Arms[16].TotalDegree())
+	}
+	for i := 1; i < NumArms; i++ {
+		if Arms[i].TotalDegree() < Arms[i-1].TotalDegree() {
+			t.Errorf("arm %d (deg %d) less aggressive than arm %d (deg %d)",
+				i, Arms[i].TotalDegree(), i-1, Arms[i-1].TotalDegree())
+		}
+	}
+}
+
+func TestEnsembleSetArm(t *testing.T) {
+	e := NewEnsemble()
+	if e.Arm() != 0 {
+		t.Errorf("initial arm = %d, want 0", e.Arm())
+	}
+	e.SetArm(13)
+	if e.Arm() != 13 {
+		t.Errorf("arm = %d after SetArm(13)", e.Arm())
+	}
+	if e.stride.Degree != 8 || e.streamer.Degree != 6 || e.nextLine.Enabled {
+		t.Error("arm 13 engine configuration wrong")
+	}
+}
+
+func TestEnsembleSetArmPanicsOutOfRange(t *testing.T) {
+	e := NewEnsemble()
+	defer func() {
+		if recover() == nil {
+			t.Error("SetArm(17) did not panic")
+		}
+	}()
+	e.SetArm(17)
+}
+
+func TestEnsembleArm0Silent(t *testing.T) {
+	e := NewEnsemble()
+	for i := 0; i < 20; i++ {
+		if got := e.OnAccess(0x40, uint64(0x1000+i*64), false, nil); len(got) != 0 {
+			t.Fatalf("arm 0 issued %#x", got)
+		}
+	}
+}
+
+func TestEnsembleTrainsWhileOff(t *testing.T) {
+	e := NewEnsemble()
+	// Train streamer while arm 0.
+	for i := 0; i < 6; i++ {
+		e.OnAccess(0x40, uint64(0x40000+i*64), false, nil)
+	}
+	e.SetArm(8) // streamer degree 6
+	got := e.OnAccess(0x40, 0x40000+6*64, false, nil)
+	if len(got) == 0 {
+		t.Error("switching arms did not take effect immediately")
+	}
+}
+
+func TestArmString(t *testing.T) {
+	if s := Arms[1].String(); s != "nl=1 stride=0 stream=0" {
+		t.Errorf("Arm.String = %q", s)
+	}
+}

@@ -1,0 +1,138 @@
+package prefetch
+
+// lruTable is a fixed-capacity uint64-keyed LRU map used by the Bingo
+// history table. It is implemented with a map plus an intrusive
+// doubly-linked list over a slab of nodes, so it performs no per-access
+// allocation.
+type lruTable[V any] struct {
+	cap   int
+	nodes []lruNode[V]
+	index map[uint64]int
+	head  int // most recently used
+	tail  int // least recently used
+	free  int // head of free list (-1 when full)
+}
+
+type lruNode[V any] struct {
+	key        uint64
+	val        V
+	prev, next int
+}
+
+func newLRUTable[V any](capacity int) *lruTable[V] {
+	if capacity <= 0 {
+		panic("prefetch: LRU capacity must be positive")
+	}
+	t := &lruTable[V]{
+		cap:   capacity,
+		nodes: make([]lruNode[V], capacity),
+		index: make(map[uint64]int, capacity),
+		head:  -1,
+		tail:  -1,
+	}
+	for i := 0; i < capacity-1; i++ {
+		t.nodes[i].next = i + 1
+	}
+	t.nodes[capacity-1].next = -1
+	t.free = 0
+	return t
+}
+
+func (t *lruTable[V]) Len() int { return len(t.index) }
+
+// Get returns the value for key and promotes it to most-recently-used.
+func (t *lruTable[V]) Get(key uint64) (V, bool) {
+	i, ok := t.index[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	t.promote(i)
+	return t.nodes[i].val, true
+}
+
+// Peek returns the value without touching recency.
+func (t *lruTable[V]) Peek(key uint64) (V, bool) {
+	i, ok := t.index[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return t.nodes[i].val, true
+}
+
+// Put inserts or updates key, evicting the LRU entry when full. It
+// returns the evicted key/value if an eviction happened.
+func (t *lruTable[V]) Put(key uint64, val V) (evictedKey uint64, evictedVal V, evicted bool) {
+	if i, ok := t.index[key]; ok {
+		t.nodes[i].val = val
+		t.promote(i)
+		return 0, evictedVal, false
+	}
+	var i int
+	if t.free != -1 {
+		i = t.free
+		t.free = t.nodes[i].next
+	} else {
+		// Evict the tail.
+		i = t.tail
+		evictedKey, evictedVal, evicted = t.nodes[i].key, t.nodes[i].val, true
+		delete(t.index, evictedKey)
+		t.unlink(i)
+	}
+	t.nodes[i] = lruNode[V]{key: key, val: val, prev: -1, next: t.head}
+	if t.head != -1 {
+		t.nodes[t.head].prev = i
+	}
+	t.head = i
+	if t.tail == -1 {
+		t.tail = i
+	}
+	t.index[key] = i
+	return evictedKey, evictedVal, evicted
+}
+
+// Delete removes key if present, returning its value.
+func (t *lruTable[V]) Delete(key uint64) (V, bool) {
+	i, ok := t.index[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	val := t.nodes[i].val
+	delete(t.index, key)
+	t.unlink(i)
+	t.nodes[i].next = t.free
+	t.free = i
+	return val, true
+}
+
+func (t *lruTable[V]) unlink(i int) {
+	n := t.nodes[i]
+	if n.prev != -1 {
+		t.nodes[n.prev].next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != -1 {
+		t.nodes[n.next].prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+}
+
+func (t *lruTable[V]) promote(i int) {
+	if t.head == i {
+		return
+	}
+	t.unlink(i)
+	t.nodes[i].prev = -1
+	t.nodes[i].next = t.head
+	if t.head != -1 {
+		t.nodes[t.head].prev = i
+	}
+	t.head = i
+	if t.tail == -1 {
+		t.tail = i
+	}
+}

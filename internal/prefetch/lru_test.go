@@ -1,0 +1,145 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"micromama/internal/xrand"
+)
+
+func TestLRUBasic(t *testing.T) {
+	l := newLRUTable[int](2)
+	l.Put(1, 100)
+	l.Put(2, 200)
+	if v, ok := l.Get(1); !ok || v != 100 {
+		t.Fatalf("Get(1) = %d,%v", v, ok)
+	}
+	// 1 is now MRU; inserting 3 must evict 2.
+	ek, ev, evicted := l.Put(3, 300)
+	if !evicted || ek != 2 || ev != 200 {
+		t.Errorf("evicted (%d,%d,%v), want key 2", ek, ev, evicted)
+	}
+	if _, ok := l.Peek(2); ok {
+		t.Error("evicted key still present")
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestLRUUpdateDoesNotEvict(t *testing.T) {
+	l := newLRUTable[int](2)
+	l.Put(1, 1)
+	l.Put(2, 2)
+	if _, _, evicted := l.Put(1, 11); evicted {
+		t.Error("updating a resident key evicted")
+	}
+	if v, _ := l.Peek(1); v != 11 {
+		t.Error("update did not stick")
+	}
+}
+
+func TestLRUDelete(t *testing.T) {
+	l := newLRUTable[int](3)
+	l.Put(1, 1)
+	l.Put(2, 2)
+	if v, ok := l.Delete(1); !ok || v != 1 {
+		t.Errorf("Delete = %d,%v", v, ok)
+	}
+	if _, ok := l.Get(1); ok {
+		t.Error("deleted key found")
+	}
+	// Freed slot is reusable without eviction.
+	if _, _, evicted := l.Put(3, 3); evicted {
+		t.Error("Put after Delete evicted")
+	}
+	if _, ok := l.Delete(42); ok {
+		t.Error("Delete of absent key reported ok")
+	}
+}
+
+func TestLRUPeekDoesNotPromote(t *testing.T) {
+	l := newLRUTable[int](2)
+	l.Put(1, 1)
+	l.Put(2, 2)
+	l.Peek(1) // must NOT promote 1
+	ek, _, _ := l.Put(3, 3)
+	if ek != 1 {
+		t.Errorf("evicted %d, want 1 (Peek should not promote)", ek)
+	}
+}
+
+func TestLRUCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	newLRUTable[int](0)
+}
+
+// Property: the LRU table agrees with a reference map + recency list.
+func TestQuickLRUAgainstModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		const capn = 4
+		l := newLRUTable[uint64](capn)
+		model := map[uint64]uint64{}
+		var order []uint64 // MRU last
+		touch := func(k uint64) {
+			for i, v := range order {
+				if v == k {
+					order = append(order[:i], order[i+1:]...)
+					break
+				}
+			}
+			order = append(order, k)
+		}
+		r := xrand.New(seed)
+		for i := 0; i < 400; i++ {
+			k := uint64(r.Intn(10))
+			switch r.Intn(3) {
+			case 0: // Put
+				v := r.Uint64()
+				if _, exists := model[k]; !exists && len(model) == capn {
+					victim := order[0]
+					order = order[1:]
+					delete(model, victim)
+				}
+				model[k] = v
+				touch(k)
+				l.Put(k, v)
+			case 1: // Get
+				mv, mok := model[k]
+				gv, gok := l.Get(k)
+				if mok != gok || (mok && mv != gv) {
+					return false
+				}
+				if mok {
+					touch(k)
+				}
+			default: // Delete
+				_, mok := model[k]
+				_, gok := l.Delete(k)
+				if mok != gok {
+					return false
+				}
+				if mok {
+					delete(model, k)
+					for i, v := range order {
+						if v == k {
+							order = append(order[:i], order[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			if l.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+// Package prefetch implements the hardware prefetchers used in the
+// paper's evaluation: the next-line / stride / streamer ensemble that
+// the Micro-Armed Bandit agents control (with the 17-arm configuration
+// table of paper Table 2), the L1D ip_stride prefetcher, and the Bingo
+// and Pythia baselines.
+package prefetch
+
+// LineBytes is the cache-line size assumed by every engine.
+const LineBytes = 64
+
+// PageBytes is the page granularity used by the streamer and Pythia.
+const PageBytes = 4096
+
+// Prefetcher observes demand accesses at a cache level and proposes
+// prefetch addresses.
+type Prefetcher interface {
+	// Name identifies the engine.
+	Name() string
+	// OnAccess observes a demand access (pc, byte address) and whether
+	// it hit in the level. It appends prefetch candidate byte addresses
+	// to dst and returns the extended slice (append-style, so callers
+	// can reuse buffers).
+	OnAccess(pc, addr uint64, hit bool, dst []uint64) []uint64
+}
+
+// Feedback is implemented by learning prefetchers (Pythia) that need to
+// know the fate of their prefetches.
+type Feedback interface {
+	// OnUseful reports a demand hit on a prefetched line. late is true
+	// if the demand arrived before the fill completed.
+	OnUseful(addr uint64, late bool)
+	// OnUseless reports a prefetched line evicted without being used.
+	OnUseless(addr uint64)
+}
+
+// None is a disabled prefetcher.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// OnAccess implements Prefetcher; it never prefetches.
+func (None) OnAccess(pc, addr uint64, hit bool, dst []uint64) []uint64 { return dst }
+
+func lineAlign(addr uint64) uint64 { return addr &^ (LineBytes - 1) }

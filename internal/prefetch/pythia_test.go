@@ -1,0 +1,126 @@
+package prefetch
+
+import "testing"
+
+func TestPythiaDeterministic(t *testing.T) {
+	a, b := NewPythia(1), NewPythia(1)
+	for i := 0; i < 2000; i++ {
+		addr := uint64(0x1000 + i*64)
+		ca := a.OnAccess(0x40, addr, false, nil)
+		cb := b.OnAccess(0x40, addr, false, nil)
+		if len(ca) != len(cb) {
+			t.Fatalf("same-seed Pythias diverged at %d", i)
+		}
+		for j := range ca {
+			if ca[j] != cb[j] {
+				t.Fatalf("same-seed Pythias diverged at %d", i)
+			}
+		}
+	}
+}
+
+func TestPythiaLearnsSequentialPattern(t *testing.T) {
+	p := NewPythia(3)
+	// Reward accurate prefetches on a sequential stream and verify the
+	// no-prefetch action loses ground: after training, Pythia should
+	// prefetch on most accesses.
+	addr := uint64(0x100000)
+	for i := 0; i < 5000; i++ {
+		addr += 64
+		cands := p.OnAccess(0x40, addr, false, nil)
+		for _, c := range cands {
+			// Oracle: a candidate ahead of the stream within 32 lines
+			// will be used soon.
+			if c > addr && c <= addr+32*64 {
+				p.OnUseful(c, false)
+			} else {
+				p.OnUseless(c)
+			}
+		}
+	}
+	if p.Issued == 0 {
+		t.Fatal("Pythia never issued")
+	}
+	// Measure the recent issue rate.
+	issuedBefore := p.Issued
+	for i := 0; i < 1000; i++ {
+		addr += 64
+		cands := p.OnAccess(0x40, addr, false, nil)
+		for _, c := range cands {
+			if c > addr && c <= addr+32*64 {
+				p.OnUseful(c, false)
+			}
+		}
+	}
+	rate := float64(p.Issued-issuedBefore) / 1000
+	if rate < 0.5 {
+		t.Errorf("trained Pythia issue rate = %.2f on a perfect stream, want >= 0.5", rate)
+	}
+	if p.Useful == 0 {
+		t.Error("no useful prefetches recorded")
+	}
+}
+
+func TestPythiaBacksOffWhenPunished(t *testing.T) {
+	p := NewPythia(4)
+	p.SetBandwidthUtil(0.9) // harsh inaccuracy penalties
+	// Random accesses: every prefetch is useless.
+	addr := uint64(0)
+	for i := 0; i < 6000; i++ {
+		addr = (addr*2862933555777941757 + 3037000493) % (1 << 30)
+		cands := p.OnAccess(0x40, addr&^63, false, nil)
+		for _, c := range cands {
+			p.OnUseless(c)
+		}
+	}
+	issuedBefore := p.Issued
+	for i := 0; i < 1000; i++ {
+		addr = (addr*2862933555777941757 + 3037000493) % (1 << 30)
+		cands := p.OnAccess(0x40, addr&^63, false, nil)
+		for _, c := range cands {
+			p.OnUseless(c)
+		}
+	}
+	rate := float64(p.Issued-issuedBefore) / 1000
+	if rate > 0.55 {
+		t.Errorf("punished Pythia still issues at rate %.2f", rate)
+	}
+}
+
+func TestPythiaFeedbackMatchesEQ(t *testing.T) {
+	p := NewPythia(5)
+	var issued []uint64
+	addr := uint64(0x2000)
+	for i := 0; i < 300 && len(issued) == 0; i++ {
+		addr += 64
+		issued = append(issued, p.OnAccess(0x40, addr, false, nil)...)
+	}
+	if len(issued) == 0 {
+		t.Skip("no prefetch issued in warmup window (exploration off)")
+	}
+	before := p.Useful
+	p.OnUseful(issued[0], true)
+	if p.Useful != before+1 {
+		t.Error("OnUseful did not match the EQ entry")
+	}
+	// Unknown address: no effect.
+	p.OnUseful(0xDEADBEEF000, false)
+	if p.Useful != before+1 {
+		t.Error("OnUseful matched a never-issued line")
+	}
+}
+
+func TestPythiaBandwidthScaledRewards(t *testing.T) {
+	p := NewPythia(6)
+	p.SetBandwidthUtil(0.9)
+	if got := p.inaccurateReward(); got != rewardInaccurateHiBW {
+		t.Errorf("hi-bw inaccurate reward = %g", got)
+	}
+	p.SetBandwidthUtil(0.1)
+	if got := p.inaccurateReward(); got != rewardInaccurateLoBW {
+		t.Errorf("lo-bw inaccurate reward = %g", got)
+	}
+	if p.noPrefetchReward() != rewardNoPrefetchLoBW {
+		t.Error("lo-bw no-prefetch reward wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package prefetch
+
+// SPP is a compact reimplementation of the Signature Path Prefetcher
+// (Kim et al., MICRO'16), the other lookahead prefetcher commonly
+// shipped with ChampSim. It is not part of the paper's comparison set,
+// but it is a useful extra baseline for the harness:
+//
+//   - A signature table tracks, per 4KB page, a compressed history
+//     ("signature") of the line deltas observed in that page.
+//   - A pattern table maps signatures to the deltas that followed them,
+//     with saturating confidence counters.
+//   - On each access the current signature is looked up and the highest-
+//     confidence delta is prefetched; the predicted path is then
+//     followed ("lookahead") with multiplicative confidence until it
+//     falls below a threshold.
+const (
+	sppSignatureBits = 12
+	sppPatternSize   = 1 << sppSignatureBits
+	sppDeltasPerSig  = 4
+	sppMaxConfidence = 15
+	sppLookaheadMax  = 8
+	// sppFillThreshold is the minimum path confidence (out of 100) to
+	// keep prefetching down the signature path.
+	sppFillThreshold = 25
+)
+
+type sppPageEntry struct {
+	page      uint64
+	signature uint16
+	lastLine  int
+	valid     bool
+}
+
+type sppDelta struct {
+	delta int16
+	conf  uint8
+}
+
+// SPP is the signature path prefetcher.
+type SPP struct {
+	pages   *lruTable[sppPageEntry]
+	pattern [][sppDeltasPerSig]sppDelta
+
+	Issued uint64
+}
+
+// NewSPP constructs an SPP with a 256-entry page table.
+func NewSPP() *SPP {
+	return &SPP{
+		pages:   newLRUTable[sppPageEntry](256),
+		pattern: make([][sppDeltasPerSig]sppDelta, sppPatternSize),
+	}
+}
+
+// Name implements Prefetcher.
+func (s *SPP) Name() string { return "spp" }
+
+func sppAdvance(sig uint16, delta int16) uint16 {
+	return (sig<<3 ^ uint16(delta)&0x3F) & (sppPatternSize - 1)
+}
+
+// train records delta as a successor of sig.
+func (s *SPP) train(sig uint16, delta int16) {
+	row := &s.pattern[sig]
+	// Existing slot: bump confidence, decay the others slightly.
+	for i := range row {
+		if row[i].conf > 0 && row[i].delta == delta {
+			if row[i].conf < sppMaxConfidence {
+				row[i].conf++
+			}
+			return
+		}
+	}
+	// Replace the weakest slot.
+	weakest := 0
+	for i := 1; i < len(row); i++ {
+		if row[i].conf < row[weakest].conf {
+			weakest = i
+		}
+	}
+	row[weakest] = sppDelta{delta: delta, conf: 1}
+}
+
+// best returns the highest-confidence successor of sig.
+func (s *SPP) best(sig uint16) (delta int16, conf uint8, ok bool) {
+	row := &s.pattern[sig]
+	bi := -1
+	for i := range row {
+		if row[i].conf > 0 && (bi < 0 || row[i].conf > row[bi].conf) {
+			bi = i
+		}
+	}
+	if bi < 0 {
+		return 0, 0, false
+	}
+	return row[bi].delta, row[bi].conf, true
+}
+
+// OnAccess implements Prefetcher.
+func (s *SPP) OnAccess(pc, addr uint64, hit bool, dst []uint64) []uint64 {
+	page := addr / PageBytes
+	line := int((addr % PageBytes) / LineBytes)
+
+	e, found := s.pages.Get(page)
+	if !found || e.page != page {
+		s.pages.Put(page, sppPageEntry{page: page, signature: 0, lastLine: line, valid: true})
+		return dst
+	}
+	delta := int16(line - e.lastLine)
+	if delta == 0 {
+		return dst
+	}
+	// Train the old signature with the observed delta, then advance.
+	s.train(e.signature, delta)
+	newSig := sppAdvance(e.signature, delta)
+	s.pages.Put(page, sppPageEntry{page: page, signature: newSig, lastLine: line, valid: true})
+
+	// Lookahead down the signature path.
+	sig := newSig
+	cur := int64(line)
+	pathConf := 100
+	for depth := 0; depth < sppLookaheadMax; depth++ {
+		d, conf, ok := s.best(sig)
+		if !ok {
+			break
+		}
+		pathConf = pathConf * (int(conf) * 100 / sppMaxConfidence) / 100
+		if pathConf < sppFillThreshold {
+			break
+		}
+		cur += int64(d)
+		if cur < 0 || cur >= int64(PageBytes/LineBytes) {
+			break // SPP stays within the page
+		}
+		dst = append(dst, page*PageBytes+uint64(cur)*LineBytes)
+		s.Issued++
+		sig = sppAdvance(sig, d)
+	}
+	return dst
+}

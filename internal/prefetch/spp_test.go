@@ -1,0 +1,87 @@
+package prefetch
+
+import "testing"
+
+func TestSPPLearnsSequentialPath(t *testing.T) {
+	s := NewSPP()
+	page := uint64(0x40000)
+	var got []uint64
+	// Sequential walk: deltas of +1 train the pattern table.
+	for i := 0; i < 20; i++ {
+		got = s.OnAccess(0x40, page+uint64(i)*64, false, nil)
+	}
+	if len(got) == 0 {
+		t.Fatal("SPP issued nothing on a trained sequential walk")
+	}
+	// Candidates must be ahead of the access and within the page.
+	last := page + 19*64
+	for _, a := range got {
+		if a <= last {
+			t.Errorf("candidate %#x not ahead of %#x", a, last)
+		}
+		if a/4096 != page/4096 {
+			t.Errorf("candidate %#x escaped the page", a)
+		}
+	}
+}
+
+func TestSPPLookaheadDepthGrowsWithConfidence(t *testing.T) {
+	s := NewSPP()
+	page := uint64(0x80000)
+	depthAt := func(rounds int) int {
+		var got []uint64
+		for i := 0; i < rounds; i++ {
+			got = s.OnAccess(0x40, page+uint64(i)*64, false, nil)
+		}
+		return len(got)
+	}
+	early := depthAt(4)
+	late := depthAt(40) // continues the same walk
+	if late < early {
+		t.Errorf("lookahead shrank with confidence: early=%d late=%d", early, late)
+	}
+	if late < 2 {
+		t.Errorf("confident path should look ahead more than %d", late)
+	}
+}
+
+func TestSPPStrideOfTwo(t *testing.T) {
+	s := NewSPP()
+	page := uint64(0xC0000)
+	var got []uint64
+	for i := 0; i < 16; i++ {
+		got = s.OnAccess(0x40, page+uint64(2*i)*64, false, nil)
+	}
+	if len(got) == 0 {
+		t.Fatal("SPP missed a stride-2 path")
+	}
+	// First candidate should be +2 lines ahead.
+	want := page + 30*64 + 2*64
+	if got[0] != want {
+		t.Errorf("first candidate %#x, want %#x", got[0], want)
+	}
+}
+
+func TestSPPRandomTrafficStaysQuiet(t *testing.T) {
+	s := NewSPP()
+	var state uint64 = 0x12345
+	issued := 0
+	for i := 0; i < 5000; i++ {
+		state = state*2862933555777941757 + 3037000493
+		addr := (state % (1 << 28)) &^ 63
+		issued += len(s.OnAccess(0x40, addr, false, nil))
+	}
+	// Random deltas never build confident paths; a trickle is fine.
+	if float64(issued)/5000 > 0.5 {
+		t.Errorf("SPP issued %d prefetches on 5000 random accesses", issued)
+	}
+}
+
+func TestSPPSameLineNoTrain(t *testing.T) {
+	s := NewSPP()
+	page := uint64(0x40000)
+	s.OnAccess(0x40, page, false, nil)
+	if got := s.OnAccess(0x40, page+8, false, nil); len(got) != 0 {
+		t.Errorf("same-line access issued %#x", got)
+	}
+}

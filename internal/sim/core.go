@@ -1,0 +1,432 @@
+package sim
+
+import (
+	"micromama/internal/cache"
+	"micromama/internal/prefetch"
+	"micromama/internal/trace"
+)
+
+// pendingMiss tracks one outstanding demand miss for the MLP/ROB model.
+type pendingMiss struct {
+	done uint64 // cycle the data arrives
+	idx  uint64 // retiring-instruction index of the load
+	line uint64 // line address, to merge same-line accesses (one MSHR)
+}
+
+// Core is one simulated CPU: a trace consumer whose timing is bounded
+// by commit width, ROB run-ahead, and outstanding-miss parallelism, in
+// front of a private L1D and L2.
+type Core struct {
+	sys       *System
+	id        int
+	traceName string
+	tr        *trace.Looping
+	base      uint64 // per-core address-space offset
+
+	cycle    uint64
+	subCycle int
+	instr    uint64
+
+	l1i      *cache.Cache
+	l1d      *cache.Cache
+	l2       *cache.Cache
+	l1Engine prefetch.Prefetcher
+	l2Engine prefetch.Prefetcher
+	feedback prefetch.Feedback // l2Engine's feedback hooks, if any
+
+	pending []pendingMiss // FIFO of outstanding demand misses
+	pHead   int
+
+	// Front-end: the last instruction-fetch line, so the L1I is only
+	// consulted when fetch crosses a line boundary.
+	lastFetchLine uint64
+
+	// per-level outstanding-prefetch trackers (rings of completion
+	// times): hardware gives each level its own prefetch MSHR budget,
+	// so an L2 prefetch flood cannot starve L1 coverage.
+	pfL1    pfRing
+	pfL2    pfRing
+	candBuf []uint64 // reusable candidate buffer
+	l1Buf   []uint64
+
+	l1PrefIssued uint64
+	l2PrefIssued uint64
+	prefDropped  uint64
+
+	// frozen stats at the instruction target
+	frozenAt      uint64
+	frozenL1D     cache.Stats
+	frozenL2      cache.Stats
+	frozenL1Pref  uint64
+	frozenL2Pref  uint64
+	frozenDropped uint64
+}
+
+func newCore(sys *System, id int, tr trace.Reader, engine prefetch.Prefetcher) *Core {
+	l1Engine := prefetch.Prefetcher(prefetch.NewIPStride())
+	if p, ok := sys.controller.(L1Provider); ok {
+		l1Engine = p.L1Engine(id)
+	}
+	c := &Core{
+		sys:       sys,
+		id:        id,
+		traceName: tr.Name(),
+		tr:        trace.NewLooping(tr),
+		base:      uint64(id+1) << sys.cfg.AddrSpaceShift,
+		l1i:       cache.New(sys.cfg.L1I),
+		l1d:       cache.New(sys.cfg.L1D),
+		l2:        cache.New(sys.cfg.L2),
+		l1Engine:  l1Engine,
+		l2Engine:  engine,
+		pending:   make([]pendingMiss, 0, sys.cfg.MLP+1),
+		pfL1:      newPFRing(8),
+		pfL2:      newPFRing(sys.cfg.PrefetchQueue),
+		candBuf:   make([]uint64, 0, 64),
+		l1Buf:     make([]uint64, 0, 8),
+	}
+	if fb, ok := engine.(prefetch.Feedback); ok {
+		c.feedback = fb
+	}
+	return c
+}
+
+// advance executes instructions until the core's local clock reaches
+// epochEnd, freezing stats the moment the instruction target is
+// crossed.
+func (c *Core) advance(epochEnd, target uint64) {
+	cfg := &c.sys.cfg
+	for c.cycle < epochEnd {
+		ins, ok := c.tr.Next()
+		if !ok {
+			// Empty trace: stall forever at the epoch boundary.
+			c.cycle = epochEnd
+			return
+		}
+		c.instr++
+		c.subCycle++
+		if c.subCycle >= cfg.CommitWidth {
+			c.cycle++
+			c.subCycle = 0
+		}
+		c.doFetch(ins.PC)
+		switch ins.Kind {
+		case trace.Load:
+			c.doLoad(ins)
+		case trace.Store:
+			c.doStore(ins)
+		}
+		if c.instr == target && c.frozenAt == 0 {
+			c.freeze()
+			c.sys.frozen++
+		}
+	}
+}
+
+func (c *Core) freeze() {
+	c.frozenAt = c.cycle
+	if c.frozenAt == 0 {
+		c.frozenAt = 1
+	}
+	c.frozenL1D = c.l1d.Stats()
+	c.frozenL2 = c.l2.Stats()
+	c.frozenL1Pref = c.l1PrefIssued
+	c.frozenL2Pref = c.l2PrefIssued
+	c.frozenDropped = c.prefDropped
+}
+
+// doFetch models the instruction front end: when fetch crosses into a
+// new cache line, the L1I is consulted; a miss fetches through the
+// unified L2 and stalls the pipeline (front-end stalls are not hidden
+// by the ROB).
+func (c *Core) doFetch(pc uint64) {
+	line := pc &^ 63
+	if line == c.lastFetchLine {
+		return
+	}
+	c.lastFetchLine = line
+	// Instructions live in a per-core I-space distinct from data.
+	addr := line | c.base | 1<<(c.sys.cfg.AddrSpaceShift-1)
+	r := c.l1i.Lookup(addr, c.cycle, true)
+	if r.Hit {
+		if r.ReadyAt > c.cycle {
+			c.cycle = r.ReadyAt
+			c.subCycle = 0
+		}
+		return
+	}
+	t2 := c.cycle + c.sys.cfg.L1I.HitLatency
+	var ready uint64
+	r2 := c.l2.Lookup(addr, t2, true)
+	if r2.Hit {
+		ready = t2 + c.sys.cfg.L2.HitLatency
+		if r2.ReadyAt > ready {
+			ready = r2.ReadyAt
+		}
+	} else {
+		ready = c.fetchIntoL2(t2, addr, false)
+	}
+	c.l1i.Fill(addr, ready, false, false)
+	c.sys.controller.OnL2Demand(c.id, t2)
+	if ready > c.cycle {
+		c.cycle = ready
+		c.subCycle = 0
+	}
+}
+
+func (c *Core) doLoad(ins trace.Instr) {
+	addr := ins.Addr | c.base
+	done, fast := c.access(ins.PC, addr, false)
+	if fast {
+		return
+	}
+	if ins.Flags&trace.DependsPrev != 0 {
+		// Pointer chase: serialized behind its producing load.
+		if done > c.cycle {
+			c.cycle = done
+			c.subCycle = 0
+		}
+		return
+	}
+	// Same-line accesses merge into one MSHR: don't consume another
+	// MLP slot for a line already outstanding.
+	line := addr &^ 63
+	for i := len(c.pending) - 1; i >= c.pHead; i-- {
+		if c.pending[i].line == line {
+			return
+		}
+	}
+	c.pushMiss(done, line)
+}
+
+func (c *Core) doStore(ins trace.Instr) {
+	addr := ins.Addr | c.base
+	// Stores are write-buffered: they consume cache/DRAM resources but
+	// never stall retirement.
+	c.access(ins.PC, addr, true)
+}
+
+// pushMiss records an outstanding miss and applies the MLP and ROB
+// limits: the core stalls when too many misses are in flight or when
+// the oldest miss is older than the ROB allows.
+func (c *Core) pushMiss(done, line uint64) {
+	cfg := &c.sys.cfg
+	c.pending = append(c.pending, pendingMiss{done: done, idx: c.instr, line: line})
+	// Drop completed misses from the front.
+	for c.pHead < len(c.pending) && c.pending[c.pHead].done <= c.cycle {
+		c.pHead++
+	}
+	stallOn := func(m pendingMiss) {
+		if m.done > c.cycle {
+			c.cycle = m.done
+			c.subCycle = 0
+		}
+	}
+	for len(c.pending)-c.pHead > cfg.MLP {
+		stallOn(c.pending[c.pHead])
+		c.pHead++
+	}
+	for c.pHead < len(c.pending) && c.instr-c.pending[c.pHead].idx >= uint64(cfg.ROB) {
+		stallOn(c.pending[c.pHead])
+		c.pHead++
+	}
+	// Compact the FIFO occasionally.
+	if c.pHead > 64 {
+		c.pending = append(c.pending[:0], c.pending[c.pHead:]...)
+		c.pHead = 0
+	}
+}
+
+// access walks the hierarchy for a demand access and returns the cycle
+// the data is available plus whether the access was a "fast" L1 hit
+// (no possible stall).
+func (c *Core) access(pc, addr uint64, store bool) (done uint64, fast bool) {
+	now := c.cycle
+	cfg := &c.sys.cfg
+
+	r1 := c.l1d.Lookup(addr, now, true)
+	c.l1Buf = c.l1Engine.OnAccess(pc, addr, r1.Hit, c.l1Buf[:0])
+	if r1.Hit {
+		if store {
+			c.l1d.MarkDirty(addr)
+		}
+		done = now + cfg.L1D.HitLatency
+		if r1.ReadyAt > done {
+			done = r1.ReadyAt
+			fast = false
+		} else {
+			fast = true
+		}
+		c.issueL1Prefetches(now)
+		return done, fast
+	}
+
+	// L1 miss: demand access to L2.
+	t2 := now + cfg.L1D.HitLatency
+	r2 := c.l2.Lookup(addr, t2, true)
+	c.candBuf = c.l2Engine.OnAccess(pc, addr, r2.Hit, c.candBuf[:0])
+	if r2.WasPrefetched && c.feedback != nil {
+		c.feedback.OnUseful(addr, r2.ReadyAt > t2)
+	}
+
+	var ready uint64
+	if r2.Hit {
+		ready = t2 + cfg.L2.HitLatency
+		if r2.ReadyAt > ready {
+			ready = r2.ReadyAt
+		}
+	} else {
+		ready = c.fetchIntoL2(t2, addr, false)
+	}
+
+	// Fill L1; a dirty victim merges into L2.
+	if v := c.l1d.Fill(addr, ready, false, store); v.Valid && v.Dirty {
+		c.l2.MarkDirty(v.Addr)
+	}
+	if store {
+		c.l1d.MarkDirty(addr)
+	}
+
+	c.issueL2Prefetches(t2)
+	c.issueL1Prefetches(now)
+	c.sys.controller.OnL2Demand(c.id, t2)
+	return ready, false
+}
+
+// fetchIntoL2 brings addr's line into the L2 (and LLC) starting at
+// cycle t, returning when the data reaches the L2. pf marks prefetch
+// fills; a prefetch rejected by the memory controller's demand-priority
+// backpressure returns 0 with no state change.
+func (c *Core) fetchIntoL2(t uint64, addr uint64, pf bool) uint64 {
+	cfg := &c.sys.cfg
+	t3 := t + cfg.L2.HitLatency
+	r3 := c.sys.llc.Lookup(addr, t3, !pf)
+	var ready uint64
+	if r3.Hit {
+		ready = t3 + cfg.LLC.HitLatency
+		if r3.ReadyAt > ready {
+			ready = r3.ReadyAt
+		}
+	} else {
+		t4 := t3 + cfg.LLC.HitLatency
+		if pf {
+			var ok bool
+			ready, ok = c.sys.dram.AccessPrefetch(t4, addr)
+			if !ok {
+				return 0
+			}
+		} else {
+			ready = c.sys.dram.Access(t4, addr, false)
+		}
+		if v := c.sys.llc.Fill(addr, ready, pf, false); v.Valid && v.Dirty {
+			c.sys.dram.Access(ready, v.Addr, true)
+		}
+	}
+	if v := c.l2.Fill(addr, ready, pf, false); v.Valid {
+		if v.Dirty {
+			// Dirty L2 victim moves to the LLC; a dirty LLC victim goes
+			// to memory.
+			if lv := c.sys.llc.Fill(v.Addr, 0, false, true); lv.Valid && lv.Dirty {
+				c.sys.dram.Access(ready, lv.Addr, true)
+			}
+		}
+		if v.Prefetched && c.feedback != nil {
+			c.feedback.OnUseless(v.Addr &^ c.base)
+		}
+	}
+	return ready
+}
+
+// issueL2Prefetches sends the L2 engine's candidates down the hierarchy,
+// subject to the per-core outstanding-prefetch budget.
+func (c *Core) issueL2Prefetches(now uint64) {
+	for _, a := range c.candBuf {
+		if a == 0 {
+			continue
+		}
+		addr := a | c.base
+		if c.l2.Contains(addr) {
+			continue
+		}
+		if !c.pfL2.reserve(now) {
+			c.prefDropped++
+			continue
+		}
+		done := c.fetchIntoL2(now, addr, true)
+		if done == 0 {
+			c.prefDropped++
+			continue
+		}
+		c.pfL2.record(done)
+		c.l2PrefIssued++
+	}
+	c.candBuf = c.candBuf[:0]
+}
+
+// issueL1Prefetches brings ip_stride candidates into the L1 (and L2).
+func (c *Core) issueL1Prefetches(now uint64) {
+	cfg := &c.sys.cfg
+	for _, a := range c.l1Buf {
+		if a == 0 {
+			continue
+		}
+		addr := a | c.base
+		if c.l1d.Contains(addr) {
+			continue
+		}
+		if !c.pfL1.reserve(now) {
+			c.prefDropped++
+			continue
+		}
+		var ready uint64
+		r2 := c.l2.Lookup(addr, now, false)
+		if r2.Hit {
+			ready = now + cfg.L2.HitLatency
+			if r2.ReadyAt > ready {
+				ready = r2.ReadyAt
+			}
+		} else {
+			ready = c.fetchIntoL2(now, addr, true)
+			if ready == 0 {
+				c.prefDropped++
+				continue
+			}
+		}
+		if v := c.l1d.Fill(addr, ready, true, false); v.Valid && v.Dirty {
+			c.l2.MarkDirty(v.Addr)
+		}
+		c.pfL1.record(ready)
+		c.l1PrefIssued++
+	}
+	c.l1Buf = c.l1Buf[:0]
+}
+
+// pfRing tracks outstanding prefetches at one level as a ring of
+// completion times.
+type pfRing struct {
+	done []uint64
+	head int
+	n    int
+}
+
+func newPFRing(capacity int) pfRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return pfRing{done: make([]uint64, capacity)}
+}
+
+// reserve reports whether a new prefetch may be issued at cycle now,
+// pruning completed entries.
+func (r *pfRing) reserve(now uint64) bool {
+	for r.n > 0 && r.done[r.head] <= now {
+		r.head = (r.head + 1) % len(r.done)
+		r.n--
+	}
+	return r.n < len(r.done)
+}
+
+func (r *pfRing) record(done uint64) {
+	tail := (r.head + r.n) % len(r.done)
+	r.done[tail] = done
+	r.n++
+}

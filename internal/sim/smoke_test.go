@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"micromama/internal/prefetch"
+	"micromama/internal/trace"
+	"micromama/internal/workload"
+)
+
+func runSingle(t *testing.T, traceName string, arm int, target uint64) Result {
+	t.Helper()
+	spec, err := workload.ByName(traceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctrl Controller
+	if arm < 0 {
+		ctrl = NoPrefetchController()
+	} else {
+		ctrl = NewFixedController("fixed", func(int) prefetch.Prefetcher {
+			e := prefetch.NewEnsemble()
+			e.SetArm(arm)
+			return e
+		})
+	}
+	sys, err := New(DefaultConfig(1), []trace.Reader{spec.New()}, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Run(target, 0)
+}
+
+// TestSmokeSingleCore sanity-checks the timing model: a streaming trace
+// should be memory-bound without L2 prefetching and visibly faster with
+// an aggressive fixed ensemble arm.
+func TestSmokeSingleCore(t *testing.T) {
+	const target = 300_000
+	base := runSingle(t, "spec06.libquantum", -1, target)
+	pref := runSingle(t, "spec06.libquantum", 8, target) // streamer degree 6
+
+	baseIPC := base.Cores[0].IPC
+	prefIPC := pref.Cores[0].IPC
+	t.Logf("libquantum: no-pref IPC=%.3f (L2 MPKI=%.1f), streamer6 IPC=%.3f (L2 MPKI=%.1f, pf issued=%d useful=%d)",
+		baseIPC, base.Cores[0].L2MPKI(), prefIPC, pref.Cores[0].L2MPKI(),
+		pref.Cores[0].L2PrefIssued, pref.Cores[0].L2.PrefetchUseful)
+
+	if baseIPC <= 0 || baseIPC >= 4 {
+		t.Fatalf("implausible baseline IPC %.3f", baseIPC)
+	}
+	if prefIPC < baseIPC*1.10 {
+		t.Errorf("prefetching should speed up streaming by >10%%: base=%.3f pref=%.3f", baseIPC, prefIPC)
+	}
+}
+
+// TestSmokeChaseInsensitive checks that pointer chasing gains little
+// from prefetching and is slow.
+func TestSmokeChaseInsensitive(t *testing.T) {
+	const target = 200_000
+	base := runSingle(t, "spec06.mcf", -1, target)
+	pref := runSingle(t, "spec06.mcf", 16, target)
+	t.Logf("mcf: no-pref IPC=%.3f MPKI=%.1f, arm16 IPC=%.3f pfIssued=%d useful=%d",
+		base.Cores[0].IPC, base.Cores[0].L2MPKI(), pref.Cores[0].IPC,
+		pref.Cores[0].L2PrefIssued, pref.Cores[0].L2.PrefetchUseful)
+	if base.Cores[0].IPC > 1.0 {
+		t.Errorf("pointer chase should be slow, got IPC %.3f", base.Cores[0].IPC)
+	}
+}
+
+// TestSmokeComputeBound checks that cache-resident code runs near peak.
+func TestSmokeComputeBound(t *testing.T) {
+	res := runSingle(t, "spec06.povray", -1, 1_500_000)
+	t.Logf("povray: IPC=%.3f MPKI=%.2f", res.Cores[0].IPC, res.Cores[0].L2MPKI())
+	if res.Cores[0].IPC < 3.0 {
+		t.Errorf("compute-bound trace should be near peak IPC 4, got %.3f", res.Cores[0].IPC)
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.mmt")
+
+	src := NewStride("roundtrip", StrideConfig{Seed: 5, Strides: []uint64{64}, MemRatio: 0.5, StoreRatio: 0.2, Length: 1234})
+	n, err := WriteFile(path, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1234 {
+		t.Fatalf("wrote %d records, want 1234", n)
+	}
+
+	ft, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ft.Close()
+	if ft.Name() != "roundtrip" || ft.Len() != 1234 {
+		t.Errorf("header: name=%q len=%d", ft.Name(), ft.Len())
+	}
+
+	src.Reset()
+	want := drain(src)
+	got := drain(ft)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Reset re-reads from the first record.
+	ft.Reset()
+	again := drain(ft)
+	if len(again) != len(want) || again[0] != want[0] {
+		t.Error("FileTrace.Reset did not rewind")
+	}
+}
+
+func TestWriteFileMax(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.mmt")
+	src := NewCompute("capped", ComputeConfig{Seed: 1, MemRatio: 0.3, Length: 100000})
+	n, err := WriteFile(path, src, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("wrote %d, want 50", n)
+	}
+	ft, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ft.Close()
+	if got := len(drain(ft)); got != 50 {
+		t.Errorf("read %d, want 50", got)
+	}
+}
+
+func TestOpenFileBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad")
+	if err := os.WriteFile(path, []byte("this is not a trace file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Error("OpenFile accepted a non-trace file")
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("OpenFile of missing path succeeded")
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"micromama/internal/trace"
+)
+
+// TestMPKIDiversity verifies that the sensitive catalog spans the MPKI
+// axes the paper's §6.3 analysis relies on: light traces (the paper
+// notes 56% of its mixes satisfy µ−σ < 2.5 MPKI), heavy traces, and a
+// wide spread between them. A cheap reuse-window model estimates
+// no-prefetch L2 MPKI without running the simulator.
+func TestMPKIDiversity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scans many traces")
+	}
+	est := func(sp Spec) float64 {
+		r := sp.New()
+		const n = 300_000
+		const window = 16384 // ~1MB of 64B lines
+		recent := map[uint64]uint64{}
+		var idx, misses, instr uint64
+		for instr = 0; instr < n; instr++ {
+			ins, ok := r.Next()
+			if !ok {
+				break
+			}
+			if ins.Kind == trace.Other {
+				continue
+			}
+			line := ins.Addr &^ 63
+			idx++
+			if last, seen := recent[line]; !seen || idx-last > window {
+				misses++
+			}
+			recent[line] = idx
+			if len(recent) > 4*window {
+				for k, v := range recent {
+					if idx-v > window {
+						delete(recent, k)
+					}
+				}
+			}
+		}
+		if instr == 0 {
+			return 0
+		}
+		return float64(misses) * 1000 / float64(instr)
+	}
+
+	var light, heavy int
+	lo, hi := 1e9, 0.0
+	for _, sp := range Sensitive() {
+		m := est(sp)
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+		if m < 6 {
+			light++
+		}
+		if m > 20 {
+			heavy++
+		}
+	}
+	t.Logf("sensitive-set est. MPKI range: %.1f .. %.1f (light=%d heavy=%d of %d)",
+		lo, hi, light, heavy, len(Sensitive()))
+	if light < 4 {
+		t.Errorf("only %d light traces (<6 MPKI); mixes lose the asymmetric-importance structure", light)
+	}
+	if heavy < 4 {
+		t.Errorf("only %d heavy traces (>20 MPKI)", heavy)
+	}
+	if hi < 10*lo {
+		t.Errorf("MPKI spread %.1f..%.1f too narrow for §6.3's variance analysis", lo, hi)
+	}
+}
+
+// TestInsensitiveAreLight: the insensitive set must be cache-resident.
+func TestInsensitiveAreLight(t *testing.T) {
+	for _, sp := range Insensitive() {
+		r := sp.New()
+		lines := map[uint64]bool{}
+		for i := 0; i < 100_000; i++ {
+			ins, ok := r.Next()
+			if !ok {
+				break
+			}
+			if ins.Kind != trace.Other {
+				lines[ins.Addr&^63] = true
+			}
+		}
+		// Footprint must fit the 1MB L2.
+		if got := len(lines) * 64; got > 1<<20 {
+			t.Errorf("%s: footprint %d bytes exceeds L2", sp.Name, got)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package xrand provides a small, fast, deterministic PRNG
+// (splitmix64-seeded xorshift64*) with resettable state. It is embedded
+// in trace generators, workload samplers, and learning prefetchers so
+// that every simulation is exactly reproducible from its seeds.
+package xrand
+
+// RNG is a resettable pseudo-random number generator. The zero value is
+// usable (seed 0).
+type RNG struct {
+	seed  uint64
+	state uint64
+}
+
+// New returns an RNG seeded with seed.
+func New(seed uint64) RNG {
+	r := RNG{seed: seed}
+	r.Reset()
+	return r
+}
+
+// Reset rewinds the generator to its seeded state.
+func (r *RNG) Reset() {
+	// splitmix64 step so nearby seeds produce uncorrelated streams.
+	z := r.seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	r.state = z
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	if r.state == 0 {
+		r.Reset()
+	}
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a value in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
