@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples clean
+.PHONY: all build vet test race check bench figures examples clean
 
-all: build vet test
+all: check
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,11 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiment/
+	$(GO) test -race ./...
+
+# The default gate: compile everything, vet, run the test suite, then
+# re-run it under the race detector.
+check: build vet test race
 
 # Tiny-scale benchmark sweep over every paper table/figure.
 bench:

@@ -1,0 +1,185 @@
+// Command mamactl is the mamaserved client.
+//
+// Usage:
+//
+//	mamactl [-addr host:port] submit -mix t1,t2 -controller mumama [-scale tiny]
+//	        [-seed N] [-target N] [-step N] [-timeout 30s] [-wait]
+//	mamactl status <job-id>
+//	mamactl result <job-id>
+//	mamactl wait <job-id>
+//	mamactl stats
+//	mamactl catalog
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+var addr = flag.String("addr", "http://localhost:8077", "mamaserved base URL")
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "submit":
+		err = cmdSubmit(args[1:])
+	case "status":
+		err = cmdGet(args[1:], "/v1/jobs/%s")
+	case "result":
+		err = cmdGet(args[1:], "/v1/jobs/%s/result")
+	case "wait":
+		err = cmdWait(args[1:])
+	case "stats":
+		err = getJSON("/v1/stats", os.Stdout)
+	case "catalog":
+		err = getJSON("/v1/catalog", os.Stdout)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mamactl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mamactl [-addr url] submit|status|result|wait|stats|catalog ...")
+	os.Exit(2)
+}
+
+func base() string { return strings.TrimRight(*addr, "/") }
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		mix        = fs.String("mix", "", "comma-separated trace names, one per core")
+		controller = fs.String("controller", "mumama", "prefetch controller key")
+		scale      = fs.String("scale", "", "tiny|small|default|full")
+		seed       = fs.Uint64("seed", 0, "mix label / cache namespace")
+		target     = fs.Uint64("target", 0, "instruction target override")
+		step       = fs.Uint64("step", 0, "agent timestep override")
+		timeout    = fs.Duration("timeout", 0, "per-job timeout")
+		wait       = fs.Bool("wait", false, "poll until the job finishes and print the result")
+	)
+	fs.Parse(args)
+	if *mix == "" {
+		return fmt.Errorf("submit: -mix is required")
+	}
+	spec := map[string]any{
+		"mix":        strings.Split(*mix, ","),
+		"controller": *controller,
+	}
+	if *scale != "" {
+		spec["scale"] = *scale
+	}
+	if *seed != 0 {
+		spec["seed"] = *seed
+	}
+	if *target != 0 {
+		spec["target"] = *target
+	}
+	if *step != 0 {
+		spec["step"] = *step
+	}
+	if *timeout != 0 {
+		spec["timeout_ms"] = timeout.Milliseconds()
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base()+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var view struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(raw, &view); err != nil {
+		return err
+	}
+	if !*wait {
+		fmt.Printf("%s\t%s\n", view.ID, view.Status)
+		return nil
+	}
+	return waitFor(view.ID)
+}
+
+func cmdGet(args []string, pathFmt string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one job id")
+	}
+	return getJSON(fmt.Sprintf(pathFmt, args[0]), os.Stdout)
+}
+
+func cmdWait(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("wait: expected exactly one job id")
+	}
+	return waitFor(args[0])
+}
+
+// waitFor polls the result endpoint until the job leaves
+// queued/running, then prints the final body; a failed job exits 1.
+func waitFor(id string) error {
+	for {
+		resp, err := http.Get(base() + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("wait: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		}
+		var out bytes.Buffer
+		_ = json.Indent(&out, raw, "", "  ")
+		fmt.Println(out.String())
+		var view struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		_ = json.Unmarshal(raw, &view)
+		if view.Status == "failed" {
+			return fmt.Errorf("job failed: %s", view.Error)
+		}
+		return nil
+	}
+}
+
+func getJSON(path string, w io.Writer) error {
+	resp, err := http.Get(base() + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var out bytes.Buffer
+	if err := json.Indent(&out, raw, "", "  "); err != nil {
+		out.Write(raw)
+	}
+	fmt.Fprintln(w, out.String())
+	return nil
+}

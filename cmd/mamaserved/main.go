@@ -1,0 +1,76 @@
+// Command mamaserved serves simulation jobs over HTTP: a bounded job
+// queue, a worker pool running experiment.Runner simulations, and a
+// content-addressed result cache (see docs/ARCHITECTURE.md).
+//
+// Usage:
+//
+//	mamaserved -addr :8077 -workers 8 -queue 64
+//
+// Endpoints:
+//
+//	POST /v1/jobs                submit a job (JSON spec)
+//	GET  /v1/jobs/{id}           job status
+//	GET  /v1/jobs/{id}/result    metrics (202 until finished)
+//	GET  /v1/stats               service counters
+//	GET  /v1/catalog             traces, controllers, scales
+//	GET  /healthz                liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"micromama/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8077", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
+		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "default per-job timeout")
+		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "upper bound on client-requested timeouts")
+		maxCores   = flag.Int("max-cores", 16, "largest mix a job may request")
+	)
+	flag.Parse()
+
+	svc := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxCores:       *maxCores,
+	})
+	defer svc.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	st := svc.Stats()
+	fmt.Printf("mamaserved: listening on %s (%d workers, queue depth %d)\n",
+		*addr, st.Workers, st.QueueCap)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "mamaserved:", err)
+		os.Exit(1)
+	}
+	fmt.Println("mamaserved: shut down")
+}

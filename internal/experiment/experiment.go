@@ -188,9 +188,9 @@ type Runner struct {
 	Workers int
 
 	mu       sync.Mutex
-	baseline map[string]float64   // trace|dram -> alone no-L2-pref IPC
-	profiles map[string][]float64 // mixKey|dram -> S^MP per core
-	inflight map[string]*sync.WaitGroup
+	baseline map[string]float64       // baseline|trace|dram -> alone no-L2-pref IPC
+	profiles map[string][]float64     // profile|mixKey|dram -> S^MP per core
+	inflight map[string]chan struct{} // singleflight: closed when the keyed computation ends
 }
 
 // NewRunner constructs a Runner with sensible worker parallelism.
@@ -200,47 +200,6 @@ func NewRunner(scale Scale) *Runner {
 		Workers:  runtime.GOMAXPROCS(0),
 		baseline: make(map[string]float64),
 		profiles: make(map[string][]float64),
-		inflight: make(map[string]*sync.WaitGroup),
-	}
-}
-
-// BaselineIPC returns the trace's IPC running alone on cfg's system
-// without L2 prefetching (IPC^{base,SP} of Equation 2), computing and
-// caching it on first use. Concurrent callers for the same key block on
-// one computation.
-func (r *Runner) BaselineIPC(spec workload.Spec, cfg sim.Config) float64 {
-	key := spec.Name + "|" + cfg.DRAM.Name
-	for {
-		r.mu.Lock()
-		if v, ok := r.baseline[key]; ok {
-			r.mu.Unlock()
-			return v
-		}
-		if wg, ok := r.inflight[key]; ok {
-			r.mu.Unlock()
-			wg.Wait()
-			continue
-		}
-		wg := &sync.WaitGroup{}
-		wg.Add(1)
-		r.inflight[key] = wg
-		r.mu.Unlock()
-
-		c := cfg
-		c.Cores = 1
-		mix := workload.Mix{Specs: []workload.Spec{spec}}
-		sys, err := sim.New(c, mix.Traces(), sim.NoPrefetchController())
-		var ipc float64
-		if err == nil {
-			res := sys.Run(r.Scale.Target, r.Scale.MaxCycles())
-			ipc = res.Cores[0].IPC
-		}
-
-		r.mu.Lock()
-		r.baseline[key] = ipc
-		delete(r.inflight, key)
-		r.mu.Unlock()
-		wg.Done()
-		return ipc
+		inflight: make(map[string]chan struct{}),
 	}
 }

@@ -86,7 +86,10 @@ func TestProfiles(t *testing.T) {
 	r := NewRunner(ScaleTiny)
 	mix := workload.Mixes(2, 1, 3)[0]
 	cfg := sim.DefaultConfig(2)
-	p := r.Profiles(mix, cfg)
+	p, err := r.Profiles(mix, cfg)
+	if err != nil {
+		t.Fatalf("Profiles: %v", err)
+	}
 	if len(p) != 2 {
 		t.Fatalf("profiles len %d", len(p))
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -9,52 +10,157 @@ import (
 	"micromama/internal/workload"
 )
 
+// singleflight runs compute for key at most once across concurrent
+// callers: the first caller becomes the leader and computes; the rest
+// block until the leader finishes (or their context is cancelled) and
+// then re-check the cache via cached. Successful results must be
+// published by compute itself (under r.mu, via the cached closure's
+// backing map); failed computations are not cached, so a later caller
+// retries with its own context.
+func (r *Runner) singleflight(ctx context.Context, key string, cached func() (any, bool), compute func() (any, error)) (any, error) {
+	for {
+		r.mu.Lock()
+		if v, ok := cached(); ok {
+			r.mu.Unlock()
+			return v, nil
+		}
+		ch, inflight := r.inflight[key]
+		if inflight {
+			r.mu.Unlock()
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		ch = make(chan struct{})
+		r.inflight[key] = ch
+		r.mu.Unlock()
+
+		v, err := compute()
+
+		r.mu.Lock()
+		delete(r.inflight, key)
+		r.mu.Unlock()
+		close(ch)
+		return v, err
+	}
+}
+
+// BaselineIPC returns the trace's IPC running alone on cfg's system
+// without L2 prefetching (IPC^{base,SP} of Equation 2), computing and
+// caching it on first use. Concurrent callers for the same key block on
+// one computation. Errors degrade to a zero baseline (and a zero
+// speedup downstream); use BaselineIPCContext to observe them.
+func (r *Runner) BaselineIPC(spec workload.Spec, cfg sim.Config) float64 {
+	ipc, _ := r.BaselineIPCContext(context.Background(), spec, cfg)
+	return ipc
+}
+
+// BaselineIPCContext is BaselineIPC with cancellation and error
+// reporting. A failed or cancelled computation is not cached, so a
+// later call retries it.
+func (r *Runner) BaselineIPCContext(ctx context.Context, spec workload.Spec, cfg sim.Config) (float64, error) {
+	key := "baseline|" + spec.Name + "|" + cfg.DRAM.Name
+	v, err := r.singleflight(ctx, key,
+		func() (any, bool) { v, ok := r.baseline[key]; return v, ok },
+		func() (any, error) {
+			c := cfg
+			c.Cores = 1
+			mix := workload.Mix{Specs: []workload.Spec{spec}}
+			sys, err := sim.New(c, mix.Traces(), sim.NoPrefetchController())
+			if err != nil {
+				return float64(0), fmt.Errorf("experiment: baseline run for %s: %w", spec.Name, err)
+			}
+			res, err := sys.RunContext(ctx, r.Scale.Target, r.Scale.MaxCycles())
+			if err != nil {
+				return float64(0), err
+			}
+			ipc := res.Cores[0].IPC
+			r.mu.Lock()
+			r.baseline[key] = ipc
+			r.mu.Unlock()
+			return ipc, nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	return v.(float64), nil
+}
+
 // Profiles returns the per-core S^MP profile for a mix on cfg's system:
 // each core's IPC in the loaded multicore *without* L2 prefetching,
 // divided by its single-core baseline (§6.6.3's offline profiling run).
-// Results are cached per (mix, DRAM config).
-func (r *Runner) Profiles(mix workload.Mix, cfg sim.Config) []float64 {
-	key := mix.Name() + "|" + cfg.DRAM.Name
-	r.mu.Lock()
-	if v, ok := r.profiles[key]; ok {
-		r.mu.Unlock()
-		return v
-	}
-	r.mu.Unlock()
+// Results are cached per (mix, DRAM config); concurrent callers for the
+// same key share one computation.
+func (r *Runner) Profiles(mix workload.Mix, cfg sim.Config) ([]float64, error) {
+	return r.ProfilesContext(context.Background(), mix, cfg)
+}
 
-	sys, err := sim.New(cfg, mix.Traces(), sim.NoPrefetchController())
+// ProfilesContext is Profiles with cancellation. A failed or cancelled
+// profiling run is not cached, so a later call retries it.
+func (r *Runner) ProfilesContext(ctx context.Context, mix workload.Mix, cfg sim.Config) ([]float64, error) {
+	key := "profile|" + mix.Name() + "|" + cfg.DRAM.Name
+	v, err := r.singleflight(ctx, key,
+		func() (any, bool) { v, ok := r.profiles[key]; return v, ok },
+		func() (any, error) {
+			c := cfg
+			c.Cores = len(mix.Specs)
+			sys, err := sim.New(c, mix.Traces(), sim.NoPrefetchController())
+			if err != nil {
+				return []float64(nil), fmt.Errorf("experiment: profile run for %s: %w", mix.Name(), err)
+			}
+			res, err := sys.RunContext(ctx, r.Scale.Target, r.Scale.MaxCycles())
+			if err != nil {
+				return []float64(nil), err
+			}
+			prof := make([]float64, len(mix.Specs))
+			for i, cr := range res.Cores {
+				base, err := r.BaselineIPCContext(ctx, mix.Specs[i], c)
+				if err != nil {
+					return []float64(nil), err
+				}
+				if base > 0 {
+					prof[i] = cr.IPC / base
+				}
+			}
+			r.mu.Lock()
+			r.profiles[key] = prof
+			r.mu.Unlock()
+			return prof, nil
+		})
 	if err != nil {
-		panic(fmt.Sprintf("experiment: profile run: %v", err))
+		return nil, err
 	}
-	res := sys.Run(r.Scale.Target, r.Scale.MaxCycles())
-	prof := make([]float64, len(mix.Specs))
-	for i, cr := range res.Cores {
-		base := r.BaselineIPC(mix.Specs[i], cfg)
-		if base > 0 {
-			prof[i] = cr.IPC / base
-		}
-	}
-
-	r.mu.Lock()
-	r.profiles[key] = prof
-	r.mu.Unlock()
-	return prof
+	return v.([]float64), nil
 }
 
 // RunMix runs one mix under the named controller and computes the
 // speedup metrics against single-core no-L2-prefetch baselines.
 func (r *Runner) RunMix(mix workload.Mix, cfg sim.Config, key string, opt Options) (MixResult, error) {
+	return r.RunMixContext(context.Background(), mix, cfg, key, opt)
+}
+
+// RunMixContext is RunMix with cancellation: the simulation (and any
+// baseline or profile run it triggers) stops at the next epoch boundary
+// once ctx is done, returning ctx's error.
+func (r *Runner) RunMixContext(ctx context.Context, mix workload.Mix, cfg sim.Config, key string, opt Options) (MixResult, error) {
 	if opt.Step == 0 {
 		opt.Step = r.Scale.Step
 	}
 	if key == "mumama-profiled" && opt.Profiles == nil {
-		opt.Profiles = r.Profiles(mix, cfg)
+		prof, err := r.ProfilesContext(ctx, mix, cfg)
+		if err != nil {
+			return MixResult{}, err
+		}
+		opt.Profiles = prof
 	}
 	ctrl, err := MakeController(key, opt)
 	if err != nil {
 		return MixResult{}, err
 	}
-	res, err := r.RunMixWith(mix, cfg, ctrl)
+	res, err := r.RunMixWithContext(ctx, mix, cfg, ctrl)
 	if err != nil {
 		return MixResult{}, err
 	}
@@ -65,16 +171,27 @@ func (r *Runner) RunMix(mix workload.Mix, cfg sim.Config, key string, opt Option
 // RunMixWith runs one mix under a caller-constructed controller (for
 // custom configurations the key-based factory cannot express).
 func (r *Runner) RunMixWith(mix workload.Mix, cfg sim.Config, ctrl sim.Controller) (MixResult, error) {
+	return r.RunMixWithContext(context.Background(), mix, cfg, ctrl)
+}
+
+// RunMixWithContext is RunMixWith with cancellation.
+func (r *Runner) RunMixWithContext(ctx context.Context, mix workload.Mix, cfg sim.Config, ctrl sim.Controller) (MixResult, error) {
 	cfg.Cores = len(mix.Specs)
 	sys, err := sim.New(cfg, mix.Traces(), ctrl)
 	if err != nil {
 		return MixResult{}, err
 	}
-	res := sys.Run(r.Scale.Target, r.Scale.MaxCycles())
+	res, err := sys.RunContext(ctx, r.Scale.Target, r.Scale.MaxCycles())
+	if err != nil {
+		return MixResult{}, err
+	}
 
 	sp := make([]float64, len(mix.Specs))
 	for i, cr := range res.Cores {
-		base := r.BaselineIPC(mix.Specs[i], cfg)
+		base, err := r.BaselineIPCContext(ctx, mix.Specs[i], cfg)
+		if err != nil {
+			return MixResult{}, err
+		}
 		if base > 0 {
 			sp[i] = cr.IPC / base
 		}
@@ -98,8 +215,9 @@ func (r *Runner) MixesFor(cores int) []workload.Mix { return r.mixesFor(cores) }
 // RunMixes runs every mix under the named controller, in parallel
 // across r.Workers goroutines. Results are index-aligned with mixes.
 func (r *Runner) RunMixes(mixes []workload.Mix, cfg sim.Config, key string, opt Options) ([]MixResult, error) {
-	// Warm the baseline (and, if needed, profile) caches serially-ish
-	// first so parallel workers don't duplicate the work.
+	// Warm the baseline cache serially first so parallel workers start
+	// from hits; concurrent misses would still coalesce via the
+	// runner's singleflight.
 	seen := map[string]bool{}
 	for _, m := range mixes {
 		for _, sp := range m.Specs {

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven edge cases pinning the return conventions of every
+// metric: empty input, single elements, and zero/negative speedups
+// (degenerate baselines upstream produce exact zeros).
+func TestWSEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"empty slice", []float64{}, 0},
+		{"single", []float64{1.25}, 1.25},
+		{"zeros", []float64{0, 0}, 0},
+		{"mixed sign", []float64{2, -0.5}, 1.5},
+		{"sum", []float64{1, 2, 3}, 6},
+	}
+	for _, c := range cases {
+		if got := WS(c.in); got != c.want {
+			t.Errorf("WS(%v) [%s] = %g, want %g", c.in, c.name, got, c.want)
+		}
+	}
+}
+
+func TestAMEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{0.8}, 0.8},
+		{"mean", []float64{1, 3}, 2},
+	}
+	for _, c := range cases {
+		if got := AM(c.in); got != c.want {
+			t.Errorf("AM(%v) [%s] = %g, want %g", c.in, c.name, got, c.want)
+		}
+	}
+}
+
+func TestHSEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{2}, 2},
+		{"zero element", []float64{1, 0}, 0},
+		{"negative element", []float64{1, -2}, 0},
+		{"harmonic", []float64{1, 1. / 3}, 0.5},
+		{"uniform", []float64{0.7, 0.7, 0.7}, 0.7},
+	}
+	for _, c := range cases {
+		if got := HS(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("HS(%v) [%s] = %g, want %g", c.in, c.name, got, c.want)
+		}
+	}
+}
+
+func TestGMEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"zero element", []float64{2, 0}, 0},
+		{"negative element", []float64{2, -1}, 0},
+		{"pair", []float64{1, 4}, 2},
+		{"uniform", []float64{0.9, 0.9}, 0.9},
+	}
+	for _, c := range cases {
+		if got := GM(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("GM(%v) [%s] = %g, want %g", c.in, c.name, got, c.want)
+		}
+	}
+}
+
+func TestUnfairnessEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty returns perfectly fair", nil, 1},
+		{"single", []float64{0.4}, 1},
+		{"uniform", []float64{2, 2, 2}, 1},
+		{"ratio", []float64{0.5, 2}, 4},
+	}
+	for _, c := range cases {
+		if got := Unfairness(c.in); got != c.want {
+			t.Errorf("Unfairness(%v) [%s] = %g, want %g", c.in, c.name, got, c.want)
+		}
+	}
+	// A non-positive minimum (stalled core) is reported as +Inf, not a
+	// negative or NaN ratio.
+	for _, in := range [][]float64{{0, 1}, {-1, 2}} {
+		if got := Unfairness(in); !math.IsInf(got, 1) {
+			t.Errorf("Unfairness(%v) = %g, want +Inf", in, got)
+		}
+	}
+}
+
+func TestSpeedupsEdgeCases(t *testing.T) {
+	got := Speedups([]float64{2, 3, 5}, []float64{1, 0, 2})
+	want := []float64{2, 0, 2.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Speedups[%d] = %g, want %g (zero baseline must yield 0)", i, got[i], want[i])
+		}
+	}
+	if out := Speedups(nil, nil); len(out) != 0 {
+		t.Errorf("Speedups(nil, nil) = %v, want empty", out)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Speedups length mismatch did not panic")
+		}
+	}()
+	Speedups([]float64{1}, []float64{1, 2})
+}
+
+func TestBlendEdgeCases(t *testing.T) {
+	sp := []float64{0.5, 2}
+	if got := Blend(sp, 0); got != AM(sp) {
+		t.Errorf("Blend(alpha=0) = %g, want AM %g", got, AM(sp))
+	}
+	if got := Blend(sp, 1); got != HS(sp) {
+		t.Errorf("Blend(alpha=1) = %g, want HS %g", got, HS(sp))
+	}
+	if got := Blend(nil, 0.5); got != 0 {
+		t.Errorf("Blend(empty) = %g, want 0", got)
+	}
+}

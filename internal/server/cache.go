@@ -1,0 +1,45 @@
+package server
+
+import "sync"
+
+// resultCache is the content-addressed result store: completed job
+// results keyed by the canonical job hash (see jobhash.go). Results are
+// immutable once stored, so a hit can be served without re-simulating —
+// the cache IS the service's memoization layer, and it is shared by
+// every worker. Entries are never evicted; a result is a few hundred
+// bytes and the key space is bounded by distinct (mix, config,
+// controller, scale) tuples actually requested.
+type resultCache struct {
+	mu sync.RWMutex
+	m  map[string]JobResult
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{m: make(map[string]JobResult)}
+}
+
+// get returns the cached result for key, if any.
+func (c *resultCache) get(key string) (JobResult, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// put stores a completed result. First write wins: identical keys mean
+// identical simulations, so a concurrent duplicate (only possible after
+// a failed job was retried) carries the same payload.
+func (c *resultCache) put(key string, res JobResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; !ok {
+		c.m[key] = res
+	}
+}
+
+// size returns the number of distinct cached results.
+func (c *resultCache) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"micromama/internal/experiment"
+	"micromama/internal/sim"
+)
+
+// jobKey derives the content address of a job: the SHA-256 of a
+// canonical JSON encoding of everything that determines the simulation
+// outcome — mix (ordered trace names), seed, the fully resolved
+// sim.Config, the controller key, and the resolved experiment.Scale.
+// Two specs that resolve to the same simulation hash identically even
+// if they spelled defaults differently; TimeoutMs is deliberately
+// excluded because it bounds execution without changing the result.
+//
+// Determinism: all hashed types are flat exported-field structs, and
+// encoding/json emits struct fields in declaration order, so the
+// encoding is canonical without map-ordering concerns.
+func jobKey(spec JobSpec, cfg sim.Config, scale experiment.Scale) string {
+	canonical := struct {
+		Mix        []string
+		Seed       uint64
+		Controller string
+		Scale      experiment.Scale
+		Config     sim.Config
+	}{spec.Mix, spec.Seed, spec.Controller, scale, cfg}
+	b, err := json.Marshal(canonical)
+	if err != nil {
+		// Only unmarshalable types (func, chan) can fail here; the
+		// hashed structs contain none by construction.
+		panic("server: jobKey marshal: " + err.Error())
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// jobID renders the short job identifier clients see: the first 16 hex
+// digits of the content hash, prefixed for greppability. Identical
+// submissions therefore share a job ID by construction.
+func jobID(key string) string { return "j" + key[:16] }

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// job is the server-side state of one submitted simulation. The
+// lifecycle is queued → running → done|failed; transitions happen on
+// exactly one worker goroutine, while any number of HTTP handlers read
+// snapshots through the mutex.
+type job struct {
+	id      string
+	key     string
+	spec    JobSpec
+	timeout time.Duration
+
+	mu         sync.Mutex
+	status     JobStatus
+	errMsg     string
+	result     *JobResult
+	cached     bool
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+}
+
+func newJob(id, key string, spec JobSpec, timeout time.Duration) *job {
+	return &job{
+		id: id, key: key, spec: spec, timeout: timeout,
+		status: StatusQueued, enqueuedAt: time.Now(),
+	}
+}
+
+// doneJob builds an already-completed registry entry for a cache hit.
+func doneJob(id, key string, spec JobSpec, res JobResult) *job {
+	now := time.Now()
+	return &job{
+		id: id, key: key, spec: spec,
+		status: StatusDone, result: &res, cached: true,
+		enqueuedAt: now, startedAt: now, finishedAt: now,
+	}
+}
+
+func (j *job) currentStatus() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+func (j *job) markRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *job) finish(res JobResult, err error) {
+	j.mu.Lock()
+	j.finishedAt = time.Now()
+	if err != nil {
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	} else {
+		j.status = StatusDone
+		j.result = &res
+	}
+	j.mu.Unlock()
+}
+
+// view snapshots the job for the API.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:         j.id,
+		Status:     j.status,
+		Spec:       j.spec,
+		Cached:     j.cached,
+		Error:      j.errMsg,
+		EnqueuedAt: j.enqueuedAt,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		v.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// resultSnapshot returns the result if the job completed.
+func (j *job) resultSnapshot() (JobResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return JobResult{}, false
+	}
+	return *j.result, true
+}
+
+// runFunc executes one job spec under ctx. The production
+// implementation is Server.simulate; tests inject fakes to make
+// queueing and timeout behaviour deterministic.
+type runFunc func(ctx context.Context, spec JobSpec) (JobResult, error)
+
+// pool is the worker side of the service: n goroutines draining the
+// queue, each executing one job at a time under a per-job timeout
+// derived from the job spec. Cancellation reaches the simulator at
+// epoch granularity through sim.System.RunContext.
+type pool struct {
+	run      runFunc
+	baseCtx  context.Context
+	onFinish func(*job, JobResult, error)
+	wg       sync.WaitGroup
+}
+
+// start launches n workers draining q. Workers exit when q is closed
+// and drained; pending jobs observe the base context's cancellation
+// and fail fast during shutdown.
+func (p *pool) start(n int, q *queue) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range q.jobs() {
+				p.execute(j)
+			}
+		}()
+	}
+}
+
+func (p *pool) execute(j *job) {
+	j.markRunning()
+	ctx, cancel := context.WithTimeout(p.baseCtx, j.timeout)
+	res, err := p.run(ctx, j.spec)
+	cancel()
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("job exceeded its %v timeout: %w", j.timeout, err)
+	}
+	p.onFinish(j, res, err)
+}
+
+// wait blocks until every worker has exited.
+func (p *pool) wait() { p.wg.Wait() }

@@ -1,0 +1,37 @@
+package server
+
+// queue is a bounded FIFO of jobs. Enqueueing never blocks: when the
+// queue is full, tryPush fails and the HTTP layer answers 429 so load
+// sheds at admission instead of piling up goroutines.
+type queue struct {
+	ch chan *job
+}
+
+func newQueue(depth int) *queue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &queue{ch: make(chan *job, depth)}
+}
+
+// tryPush enqueues j, reporting false when the queue is full.
+func (q *queue) tryPush(j *job) bool {
+	select {
+	case q.ch <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// jobs exposes the receive side for the worker pool.
+func (q *queue) jobs() <-chan *job { return q.ch }
+
+// depth returns the number of jobs currently waiting.
+func (q *queue) depth() int { return len(q.ch) }
+
+// cap returns the queue capacity.
+func (q *queue) cap() int { return cap(q.ch) }
+
+// close stops admission; workers drain what remains and exit.
+func (q *queue) close() { close(q.ch) }

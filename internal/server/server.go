@@ -1,0 +1,423 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"micromama/internal/dram"
+	"micromama/internal/experiment"
+	"micromama/internal/sim"
+	"micromama/internal/workload"
+)
+
+// Config tunes the service. Zero values select production defaults.
+type Config struct {
+	// Workers sizes the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected with 429. 0 means 4×Workers.
+	QueueDepth int
+	// DefaultTimeout bounds jobs that do not set timeout_ms (default 5m).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts (default 30m).
+	MaxTimeout time.Duration
+	// MaxCores bounds the mix size a job may request (default 16).
+	MaxCores int
+	// Run overrides the execution function (tests only); nil runs real
+	// simulations through a shared experiment.Runner per scale.
+	Run runFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.MaxCores <= 0 {
+		c.MaxCores = 16
+	}
+	return c
+}
+
+// Server is the mamaserved service: admission (queue), execution
+// (pool), and memoization (cache) behind an HTTP/JSON API.
+type Server struct {
+	cfg   Config
+	q     *queue
+	cache *resultCache
+	pool  *pool
+
+	mu   sync.Mutex
+	jobs map[string]*job // job ID -> job (registry; IDs are content-derived)
+
+	runnersMu sync.Mutex
+	runners   map[experiment.Scale]*experiment.Runner
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	submitted   atomic.Uint64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	rejected    atomic.Uint64
+	cacheHits   atomic.Uint64
+	dedupHits   atomic.Uint64
+	simulations atomic.Uint64
+}
+
+// New builds and starts a Server (its worker pool runs until Close).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		q:       newQueue(cfg.QueueDepth),
+		cache:   newResultCache(),
+		jobs:    make(map[string]*job),
+		runners: make(map[experiment.Scale]*experiment.Runner),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+	run := cfg.Run
+	if run == nil {
+		run = s.simulate
+	}
+	s.pool = &pool{run: run, baseCtx: ctx, onFinish: s.finishJob}
+	s.pool.start(cfg.Workers, s.q)
+	return s
+}
+
+// Close stops admission, cancels in-flight jobs, and waits for workers.
+func (s *Server) Close() {
+	s.cancel()
+	s.q.close()
+	s.pool.wait()
+}
+
+// plan is a fully resolved job: the canonical config, scale, and mix
+// the hash and the simulation both derive from.
+type plan struct {
+	spec  JobSpec
+	mix   workload.Mix
+	cfg   sim.Config
+	scale experiment.Scale
+	key   string
+	id    string
+}
+
+// resolve validates a spec and computes its canonical plan.
+func (s *Server) resolve(spec JobSpec) (plan, error) {
+	spec.normalize()
+	if err := spec.validate(s.cfg.MaxCores); err != nil {
+		return plan{}, err
+	}
+	scale, _ := scaleByName(spec.Scale)
+	if spec.Target > 0 {
+		scale.Target = spec.Target
+	}
+	if spec.Step > 0 {
+		scale.Step = spec.Step
+	}
+	specs := make([]workload.Spec, len(spec.Mix))
+	for i, name := range spec.Mix {
+		ws, err := workload.ByName(name)
+		if err != nil {
+			return plan{}, err
+		}
+		specs[i] = ws
+	}
+	cfg := sim.DefaultConfig(len(specs))
+	if spec.DRAMMTps > 0 || spec.DRAMChannels > 0 {
+		mtps := spec.DRAMMTps
+		if mtps <= 0 {
+			mtps = 2400
+		}
+		ch := spec.DRAMChannels
+		if ch <= 0 {
+			ch = 1
+		}
+		cfg.DRAM = dram.DDR4(mtps, ch)
+	}
+	key := jobKey(spec, cfg, scale)
+	return plan{
+		spec:  spec,
+		mix:   workload.Mix{ID: int(spec.Seed), Specs: specs},
+		cfg:   cfg,
+		scale: scale,
+		key:   key,
+		id:    jobID(key),
+	}, nil
+}
+
+// runnerFor returns the shared experiment.Runner for a resolved scale.
+// One runner per scale means every worker shares the same baseline-IPC
+// and S^MP-profile caches (safe: the runner singleflights both).
+func (s *Server) runnerFor(scale experiment.Scale) *experiment.Runner {
+	s.runnersMu.Lock()
+	defer s.runnersMu.Unlock()
+	r, ok := s.runners[scale]
+	if !ok {
+		r = experiment.NewRunner(scale)
+		s.runners[scale] = r
+	}
+	return r
+}
+
+// simulate is the production runFunc: one RunMix under the job's
+// context on the scale's shared runner.
+func (s *Server) simulate(ctx context.Context, spec JobSpec) (JobResult, error) {
+	p, err := s.resolve(spec)
+	if err != nil {
+		return JobResult{}, err
+	}
+	runner := s.runnerFor(p.scale)
+	start := time.Now()
+	res, err := runner.RunMixContext(ctx, p.mix, p.cfg, p.spec.Controller, experiment.Options{})
+	if err != nil {
+		return JobResult{}, err
+	}
+	s.simulations.Add(1)
+	out := JobResult{
+		Mix:        p.mix.Name(),
+		Controller: res.Controller,
+		WS:         res.WS,
+		HS:         res.HS,
+		GM:         res.GM,
+		Unfairness: res.Unfairness,
+		Speedups:   res.Speedups,
+		Prefetches: res.Result.TotalPrefetches(),
+		SimMs:      time.Since(start).Milliseconds(),
+	}
+	for _, cr := range res.Result.Cores {
+		out.IPC = append(out.IPC, cr.IPC)
+		out.L2MPKI = append(out.L2MPKI, cr.L2MPKI())
+	}
+	return out, nil
+}
+
+// finishJob records a worker's outcome: successful results enter the
+// content-addressed cache before the job flips to done, so a cache miss
+// followed by a registry hit can never observe a done job without a
+// cached result.
+func (s *Server) finishJob(j *job, res JobResult, err error) {
+	if err == nil {
+		s.cache.put(j.key, res)
+		s.completed.Add(1)
+	} else {
+		s.failed.Add(1)
+	}
+	j.finish(res, err)
+}
+
+// submit admits one job: cache hit → done immediately; identical job
+// already queued or running → coalesce onto it (singleflight); queue
+// full → reject. Returns the job and the HTTP status to answer with.
+func (s *Server) submit(spec JobSpec) (*job, int, error) {
+	p, err := s.resolve(spec)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	timeout := s.cfg.DefaultTimeout
+	if p.spec.TimeoutMs > 0 {
+		timeout = time.Duration(p.spec.TimeoutMs) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Content-addressed fast path: an identical job already finished.
+	if res, ok := s.cache.get(p.key); ok {
+		j, ok := s.jobs[p.id]
+		if !ok || j.currentStatus() != StatusDone {
+			j = doneJob(p.id, p.key, p.spec, res)
+			s.jobs[p.id] = j
+		}
+		s.cacheHits.Add(1)
+		s.submitted.Add(1)
+		return j, http.StatusOK, nil
+	}
+
+	// Singleflight: an identical job is queued or running — share it.
+	if j, ok := s.jobs[p.id]; ok {
+		switch j.currentStatus() {
+		case StatusQueued, StatusRunning:
+			s.dedupHits.Add(1)
+			s.submitted.Add(1)
+			return j, http.StatusAccepted, nil
+		case StatusDone:
+			// Completed between the cache check and here, or a stale
+			// pre-cache entry; serve it as a cache hit.
+			s.cacheHits.Add(1)
+			s.submitted.Add(1)
+			return j, http.StatusOK, nil
+		case StatusFailed:
+			// Fall through: a failed job is retried by resubmission.
+		}
+	}
+
+	j := newJob(p.id, p.key, p.spec, timeout)
+	if !s.q.tryPush(j) {
+		s.rejected.Add(1)
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("queue full (%d jobs waiting); retry later", s.q.depth())
+	}
+	s.jobs[p.id] = j
+	s.submitted.Add(1)
+	return j, http.StatusAccepted, nil
+}
+
+// jobByID returns the registry entry for a job ID.
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	tracked := len(s.jobs)
+	s.mu.Unlock()
+	return Stats{
+		Submitted:   s.submitted.Load(),
+		Completed:   s.completed.Load(),
+		Failed:      s.failed.Load(),
+		Rejected:    s.rejected.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		DedupHits:   s.dedupHits.Load(),
+		Simulations: s.simulations.Load(),
+		QueueDepth:  s.q.depth(),
+		QueueCap:    s.q.cap(),
+		Workers:     s.cfg.Workers,
+		CachedKeys:  s.cache.size(),
+		JobsTracked: tracked,
+	}
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	j, status, err := s.submit(spec)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, status, j.view())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// resultBody is the /result payload: the job view plus, when done, the
+// metrics. Clients poll until status leaves queued/running (HTTP 202),
+// then read either result (done, 200) or error (failed, 200).
+type resultBody struct {
+	JobView
+	Result *JobResult `json:"result,omitempty"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	body := resultBody{JobView: j.view()}
+	status := http.StatusOK
+	switch body.Status {
+	case StatusQueued, StatusRunning:
+		status = http.StatusAccepted
+	case StatusDone:
+		if res, ok := j.resultSnapshot(); ok {
+			body.Result = &res
+		}
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// catalogEntry is one /v1/catalog row.
+type catalogEntry struct {
+	Name      string `json:"name"`
+	Class     string `json:"class"`
+	Sensitive bool   `json:"sensitive"`
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	specs := workload.Catalog()
+	out := struct {
+		Traces      []catalogEntry `json:"traces"`
+		Controllers []string       `json:"controllers"`
+		Scales      []string       `json:"scales"`
+	}{
+		Controllers: experiment.ControllerKeys,
+		Scales:      []string{"tiny", "small", "default", "full"},
+	}
+	for _, sp := range specs {
+		out.Traces = append(out.Traces, catalogEntry{
+			Name: sp.Name, Class: string(sp.Class), Sensitive: sp.Sensitive,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, spec string) (*http.Response, JobView) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var view JobView
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode < 400 {
+		if err := json.Unmarshal(buf.Bytes(), &view); err != nil {
+			t.Fatalf("decode job view: %v (%s)", err, buf.String())
+		}
+	}
+	return resp, view
+}
+
+func getResult(t *testing.T, ts *httptest.Server, id string) (int, resultBody) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp.Body.Close()
+	var body resultBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	return resp.StatusCode, body
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) resultBody {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		code, body := getResult(t, ts, id)
+		if code == http.StatusOK {
+			return body
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish within %v", id, timeout)
+	return resultBody{}
+}
+
+func getStats(t *testing.T, ts *httptest.Server) Stats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	return st
+}
+
+// TestSmokeEndToEnd runs a real (tiny) simulation through the full HTTP
+// path, then resubmits the identical job and checks it is served from
+// the content-addressed cache without a second simulation.
+func TestSmokeEndToEnd(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 8})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := `{"mix":["spec06.libquantum","spec06.sphinx3"],"controller":"bandit","scale":"tiny","target":60000}`
+
+	resp, view := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d, want 202", resp.StatusCode)
+	}
+	if view.Status != StatusQueued && view.Status != StatusRunning {
+		t.Fatalf("first submit: status %q", view.Status)
+	}
+
+	body := waitDone(t, ts, view.ID, 60*time.Second)
+	if body.Status != StatusDone {
+		t.Fatalf("job finished as %q (error %q), want done", body.Status, body.Error)
+	}
+	if body.Result == nil || body.Result.WS <= 0 {
+		t.Fatalf("done job has no plausible result: %+v", body.Result)
+	}
+	if len(body.Result.Speedups) != 2 || len(body.Result.IPC) != 2 {
+		t.Fatalf("expected 2-core result, got %+v", body.Result)
+	}
+
+	// Identical resubmission: instant 200, cached flag, identical metrics.
+	resp2, view2 := postJob(t, ts, spec)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: HTTP %d, want 200 (cache hit)", resp2.StatusCode)
+	}
+	if view2.ID != view.ID {
+		t.Fatalf("resubmit got id %s, want %s (content-addressed)", view2.ID, view.ID)
+	}
+	code, body2 := getResult(t, ts, view2.ID)
+	if code != http.StatusOK || body2.Status != StatusDone || body2.Result == nil {
+		t.Fatalf("cached job not done: HTTP %d %+v", code, body2)
+	}
+	if body2.Result.WS != body.Result.WS || body2.Result.HS != body.Result.HS {
+		t.Fatalf("cached metrics differ: %+v vs %+v", body2.Result, body.Result)
+	}
+
+	st := getStats(t, ts)
+	if st.Simulations != 1 {
+		t.Errorf("simulations = %d, want 1 (second submit must hit the cache)", st.Simulations)
+	}
+	if st.CacheHits != 1 {
+		t.Errorf("cache_hits = %d, want 1", st.CacheHits)
+	}
+	if st.Completed != 1 || st.Failed != 0 {
+		t.Errorf("completed/failed = %d/%d, want 1/0", st.Completed, st.Failed)
+	}
+	if st.Submitted != 2 {
+		t.Errorf("submitted = %d, want 2", st.Submitted)
+	}
+}
+
+// fakeSpec builds distinct valid specs (seed namespaces the cache key).
+func fakeSpec(seed int) string {
+	return fmt.Sprintf(`{"mix":["spec06.libquantum"],"controller":"no","scale":"tiny","seed":%d}`, seed)
+}
+
+// TestQueueOverflow fills one worker and a depth-1 queue, then checks
+// the next distinct submission is shed with HTTP 429.
+func TestQueueOverflow(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Run: func(ctx context.Context, spec JobSpec) (JobResult, error) {
+			started <- struct{}{}
+			select {
+			case <-release:
+				return JobResult{Mix: "fake", WS: 1}, nil
+			case <-ctx.Done():
+				return JobResult{}, ctx.Err()
+			}
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Job 1: grabbed by the single worker (wait for it to start).
+	resp1, v1 := postJob(t, ts, fakeSpec(1))
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("job1: HTTP %d", resp1.StatusCode)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never started job1")
+	}
+
+	// Job 2: occupies the single queue slot.
+	resp2, _ := postJob(t, ts, fakeSpec(2))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("job2: HTTP %d", resp2.StatusCode)
+	}
+
+	// Job 3: queue full → 429.
+	resp3, _ := postJob(t, ts, fakeSpec(3))
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job3: HTTP %d, want 429", resp3.StatusCode)
+	}
+	if ra := resp3.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	if st := getStats(t, ts); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+
+	// A duplicate of the running job still coalesces instead of 429ing.
+	respDup, vDup := postJob(t, ts, fakeSpec(1))
+	if respDup.StatusCode != http.StatusAccepted || vDup.ID != v1.ID {
+		t.Fatalf("duplicate submit: HTTP %d id %s, want 202 with id %s",
+			respDup.StatusCode, vDup.ID, v1.ID)
+	}
+	if st := getStats(t, ts); st.DedupHits != 1 {
+		t.Errorf("dedup_hits = %d, want 1", st.DedupHits)
+	}
+
+	close(release)
+	b1 := waitDone(t, ts, v1.ID, 5*time.Second)
+	if b1.Status != StatusDone {
+		t.Fatalf("job1 finished as %q", b1.Status)
+	}
+}
+
+// TestJobTimeout submits a job whose (fake) simulation never returns
+// and checks it fails with a timeout error while the server stays up.
+func TestJobTimeout(t *testing.T) {
+	srv := New(Config{
+		Workers:    1,
+		QueueDepth: 4,
+		Run: func(ctx context.Context, spec JobSpec) (JobResult, error) {
+			<-ctx.Done() // simulate RunContext observing cancellation
+			return JobResult{}, ctx.Err()
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := `{"mix":["spec06.libquantum"],"controller":"no","scale":"tiny","timeout_ms":50}`
+	resp, view := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	body := waitDone(t, ts, view.ID, 10*time.Second)
+	if body.Status != StatusFailed {
+		t.Fatalf("job finished as %q, want failed", body.Status)
+	}
+	if !strings.Contains(body.Error, "timeout") {
+		t.Errorf("error %q does not mention the timeout", body.Error)
+	}
+
+	// The server survived: healthz still answers and stats counted it.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after timeout: %v %v", hz, err)
+	}
+	hz.Body.Close()
+	if st := getStats(t, ts); st.Failed != 1 {
+		t.Errorf("failed = %d, want 1", st.Failed)
+	}
+
+	// A failed job is retried (not served from cache) on resubmission.
+	resp2, view2 := postJob(t, ts, spec)
+	if resp2.StatusCode != http.StatusAccepted || view2.ID != view.ID {
+		t.Fatalf("retry submit: HTTP %d id %s, want 202 with id %s",
+			resp2.StatusCode, view2.ID, view.ID)
+	}
+}
+
+// TestBadRequests exercises validation failures.
+func TestBadRequests(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1,
+		Run: func(ctx context.Context, spec JobSpec) (JobResult, error) {
+			return JobResult{}, nil
+		}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []string{
+		`not json`,
+		`{}`,
+		`{"mix":[],"controller":"no"}`,
+		`{"mix":["nope.unknown"],"controller":"no"}`,
+		`{"mix":["spec06.libquantum"],"controller":"nope"}`,
+		`{"mix":["spec06.libquantum"],"controller":"no","scale":"galactic"}`,
+		`{"mix":["spec06.libquantum"],"controller":"no","timeout_ms":-1}`,
+		`{"mix":["spec06.libquantum"],"controller":"no","unknown_field":1}`,
+	}
+	for _, c := range cases {
+		resp, _ := postJob(t, ts, c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %s: HTTP %d, want 400", c, resp.StatusCode)
+		}
+	}
+
+	// Oversized mix (MaxCores default 16).
+	mix := make([]string, 17)
+	for i := range mix {
+		mix[i] = "spec06.libquantum"
+	}
+	b, _ := json.Marshal(map[string]any{"mix": mix, "controller": "no"})
+	resp, _ := postJob(t, ts, string(b))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("17-core mix: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown job IDs are 404s.
+	for _, path := range []string{"/v1/jobs/jdeadbeef", "/v1/jobs/jdeadbeef/result"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: HTTP %d, want 404", path, r.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package server implements mamaserved: an HTTP/JSON service that runs
+// (mix, config, controller) simulation jobs through experiment.Runner.
+// It is built from three pieces — a bounded job queue with 429
+// backpressure, a worker pool executing jobs with per-job timeout and
+// cancellation, and a content-addressed result cache with singleflight
+// deduplication so identical in-flight requests share one simulation.
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"micromama/internal/experiment"
+	"micromama/internal/workload"
+)
+
+// JobSpec is the client-supplied description of one simulation job.
+// The zero values of optional fields mean "use the scale's default".
+type JobSpec struct {
+	// Mix lists catalog trace names, one per core (see workload.Catalog
+	// or GET /v1/catalog).
+	Mix []string `json:"mix"`
+	// Controller is one of experiment.ControllerKeys.
+	Controller string `json:"controller"`
+	// Scale names the simulation budget: tiny, small, default, or full.
+	// Empty means "default".
+	Scale string `json:"scale,omitempty"`
+	// Seed labels the mix (workload.Mix.ID) and namespaces the cache
+	// key; jobs differing only in Seed are distinct cache entries.
+	Seed uint64 `json:"seed,omitempty"`
+	// Target overrides the scale's instruction-retirement goal per core.
+	Target uint64 `json:"target,omitempty"`
+	// Step overrides the scale's agent timestep (L2 demand accesses).
+	Step uint64 `json:"step,omitempty"`
+	// DRAMMTps and DRAMChannels override the memory system
+	// (DDR4 speed grade and channel count).
+	DRAMMTps     int `json:"dram_mtps,omitempty"`
+	DRAMChannels int `json:"dram_channels,omitempty"`
+	// TimeoutMs bounds the job's wall-clock execution; 0 uses the
+	// server default. Values above the server maximum are clamped.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalize canonicalizes fields that admit aliases so that equivalent
+// specs hash identically. Mix is rewritten into a fresh slice so the
+// normalized spec never aliases caller-held memory (specs are
+// re-resolved on worker goroutines while handlers serialize views).
+func (s *JobSpec) normalize() {
+	s.Controller = strings.TrimSpace(s.Controller)
+	s.Scale = strings.ToLower(strings.TrimSpace(s.Scale))
+	if s.Scale == "" {
+		s.Scale = "default"
+	}
+	mix := make([]string, len(s.Mix))
+	for i := range s.Mix {
+		mix[i] = strings.TrimSpace(s.Mix[i])
+	}
+	s.Mix = mix
+}
+
+// scaleByName maps API scale names to experiment scales.
+func scaleByName(name string) (experiment.Scale, bool) {
+	switch name {
+	case "tiny":
+		return experiment.ScaleTiny, true
+	case "small":
+		return experiment.ScaleSmall, true
+	case "default":
+		return experiment.ScaleDefault, true
+	case "full":
+		return experiment.ScaleFull, true
+	}
+	return experiment.Scale{}, false
+}
+
+// validate checks the spec against the catalog and controller registry.
+func (s *JobSpec) validate(maxCores int) error {
+	if len(s.Mix) == 0 {
+		return fmt.Errorf("mix must name at least one trace")
+	}
+	if maxCores > 0 && len(s.Mix) > maxCores {
+		return fmt.Errorf("mix has %d traces; server accepts at most %d cores", len(s.Mix), maxCores)
+	}
+	for _, name := range s.Mix {
+		if _, err := workload.ByName(name); err != nil {
+			return fmt.Errorf("unknown trace %q (see GET /v1/catalog)", name)
+		}
+	}
+	if s.Controller == "" {
+		return fmt.Errorf("controller is required")
+	}
+	found := false
+	for _, k := range experiment.ControllerKeys {
+		if k == s.Controller {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown controller %q", s.Controller)
+	}
+	if _, ok := scaleByName(s.Scale); !ok {
+		return fmt.Errorf("unknown scale %q (tiny|small|default|full)", s.Scale)
+	}
+	if s.TimeoutMs < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	return nil
+}
+
+// JobStatus is a job's lifecycle state: queued → running → done|failed.
+type JobStatus string
+
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// JobResult is the metrics payload of a finished job.
+type JobResult struct {
+	Mix        string    `json:"mix"`
+	Controller string    `json:"controller"`
+	WS         float64   `json:"ws"`
+	HS         float64   `json:"hs"`
+	GM         float64   `json:"gm"`
+	Unfairness float64   `json:"unfairness"`
+	Speedups   []float64 `json:"speedups"`
+	IPC        []float64 `json:"ipc"`
+	L2MPKI     []float64 `json:"l2_mpki"`
+	Prefetches uint64    `json:"prefetches"`
+	// SimMs is the wall-clock simulation time; 0 for cache hits.
+	SimMs int64 `json:"sim_ms"`
+}
+
+// JobView is the API representation of a job.
+type JobView struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	Spec   JobSpec   `json:"spec"`
+	// Cached reports that the submission was satisfied from the result
+	// cache without queueing a simulation.
+	Cached     bool       `json:"cached,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	EnqueuedAt time.Time  `json:"enqueued_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// Stats is the /v1/stats payload: monotonically increasing counters
+// plus instantaneous gauges.
+type Stats struct {
+	Submitted   uint64 `json:"submitted"`    // accepted POSTs (incl. cache/dedup hits)
+	Completed   uint64 `json:"completed"`    // jobs finished successfully
+	Failed      uint64 `json:"failed"`       // jobs finished with an error (incl. timeouts)
+	Rejected    uint64 `json:"rejected"`     // 429s from queue overflow
+	CacheHits   uint64 `json:"cache_hits"`   // submissions satisfied by the result cache
+	DedupHits   uint64 `json:"dedup_hits"`   // submissions coalesced onto an in-flight job
+	Simulations uint64 `json:"simulations"`  // RunMix executions actually performed
+	QueueDepth  int    `json:"queue_depth"`  // jobs currently waiting
+	QueueCap    int    `json:"queue_cap"`    // queue capacity
+	Workers     int    `json:"workers"`      // worker-pool size
+	CachedKeys  int    `json:"cached_keys"`  // distinct results in the cache
+	JobsTracked int    `json:"jobs_tracked"` // jobs in the registry
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"micromama/internal/cache"
@@ -103,6 +104,20 @@ func (s *System) TraceName(core int) string { return s.cores[core].traceName }
 // paper's methodology). maxCycles guards against pathological stalls; 0
 // means no guard.
 func (s *System) Run(target uint64, maxCycles uint64) Result {
+	res, _ := s.RunContext(context.Background(), target, maxCycles)
+	return res
+}
+
+// ctxCheckEpochs is how often (in epochs) RunContext polls its context;
+// at the default 64-cycle epoch this is a check every ~16K cycles.
+const ctxCheckEpochs = 256
+
+// RunContext is Run with cooperative cancellation: the context is
+// polled at epoch granularity, and on cancellation the simulation stops
+// early and returns the partial Result alongside ctx.Err(). Callers
+// that need a hard per-job bound (the mamaserved worker pool) combine
+// this with context.WithTimeout.
+func (s *System) RunContext(ctx context.Context, target uint64, maxCycles uint64) (Result, error) {
 	epochEnd := s.cfg.Epoch
 	epochs := uint64(0)
 	for s.frozen < len(s.cores) {
@@ -114,11 +129,16 @@ func (s *System) Run(target uint64, maxCycles uint64) Result {
 		if epochs%bwSampleEpochs == 0 {
 			s.sampleBandwidth(epochEnd)
 		}
+		if epochs%ctxCheckEpochs == 0 {
+			if err := ctx.Err(); err != nil {
+				return s.Result(target), err
+			}
+		}
 		if maxCycles > 0 && epochEnd > maxCycles {
 			break
 		}
 	}
-	return s.Result(target)
+	return s.Result(target), nil
 }
 
 func (s *System) sampleBandwidth(now uint64) {
