@@ -1,0 +1,91 @@
+package sim
+
+import "testing"
+
+// pfRing invariants the prefetch-issue path depends on: reserve prunes
+// completed entries and admits while slots remain; record appends at
+// the tail with wraparound; a capacity-1 ring alternates.
+
+func TestPFRingWraparound(t *testing.T) {
+	r := newPFRing(3)
+	// Fill all three slots with completions at 10, 20, 30.
+	for _, d := range []uint64{10, 20, 30} {
+		if !r.reserve(0) {
+			t.Fatalf("reserve failed with %d/%d slots used", r.n, len(r.done))
+		}
+		r.record(d)
+	}
+	if r.reserve(5) {
+		t.Error("reserve succeeded on a full ring with nothing completed")
+	}
+	// At cycle 15 the first entry (done=10) has completed: one slot
+	// frees, head wraps forward.
+	if !r.reserve(15) {
+		t.Fatal("reserve failed after the head entry completed")
+	}
+	r.record(40) // lands in the slot vacated at index 0 (tail wraps)
+	if r.n != 3 {
+		t.Fatalf("n = %d, want 3", r.n)
+	}
+	if r.reserve(15) {
+		t.Error("ring should be full again after wrapping record")
+	}
+	// Drain everything: done times 20, 30, 40 all complete by 100.
+	if !r.reserve(100) {
+		t.Fatal("reserve failed with all entries complete")
+	}
+	if r.n != 0 {
+		t.Errorf("n = %d after full drain, want 0", r.n)
+	}
+}
+
+func TestPFRingReserveAfterPrune(t *testing.T) {
+	r := newPFRing(4)
+	for _, d := range []uint64{5, 6, 100, 101} {
+		if !r.reserve(0) {
+			t.Fatal("setup reserve failed")
+		}
+		r.record(d)
+	}
+	// Cycle 50: entries 5 and 6 complete, 100 and 101 remain. Two
+	// reserves succeed, the third fails.
+	for i := 0; i < 2; i++ {
+		if !r.reserve(50) {
+			t.Fatalf("reserve %d failed after prune", i)
+		}
+		r.record(200 + uint64(i))
+	}
+	if r.reserve(50) {
+		t.Error("reserve succeeded but all 4 slots should be occupied")
+	}
+	if r.n != 4 {
+		t.Errorf("n = %d, want 4", r.n)
+	}
+}
+
+func TestPFRingCapacityOne(t *testing.T) {
+	r := newPFRing(1)
+	if !r.reserve(0) {
+		t.Fatal("empty capacity-1 ring refused reserve")
+	}
+	r.record(10)
+	if r.reserve(9) {
+		t.Error("capacity-1 ring admitted a second outstanding prefetch")
+	}
+	if !r.reserve(10) {
+		t.Error("capacity-1 ring did not free at completion time")
+	}
+	r.record(20)
+	if r.n != 1 || r.done[0] != 20 {
+		t.Errorf("ring state = {n:%d done:%v}, want one entry of 20", r.n, r.done)
+	}
+}
+
+func TestPFRingMinimumCapacity(t *testing.T) {
+	// Constructing with capacity < 1 clamps to 1 so reserve/record
+	// never divide by zero.
+	r := newPFRing(0)
+	if len(r.done) != 1 {
+		t.Fatalf("capacity = %d, want clamp to 1", len(r.done))
+	}
+}
