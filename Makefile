@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench figures examples clean
+.PHONY: all build vet test race check bench bench-smoke bench-baseline bench-paper figures examples clean
 
 all: check
 
@@ -18,12 +18,31 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The default gate: compile everything, vet, run the test suite, then
-# re-run it under the race detector.
-check: build vet test race
+# The default gate: compile everything, vet, run the test suite, re-run
+# it under the race detector, then make sure the hot-path benchmarks
+# still run (1 iteration; catches bit-rot, not regressions).
+check: build vet test race bench-smoke
+
+# Hot-path benchmark suite: cache/MSHR microbenchmarks, the per-core
+# advance benchmarks, and end-to-end simulator throughput, compared
+# against the checked-in baseline. Regenerate the baseline on a quiet
+# machine with `make bench-baseline`.
+BENCH_PATTERN = BenchmarkLookup|BenchmarkFillEvict|BenchmarkMarkDirty|BenchmarkCoreAdvance|BenchmarkSimulatorThroughput
+BENCH_PKGS    = ./internal/cache ./internal/sim .
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) | tee bench.out
+	$(GO) run ./scripts/benchdiff bench.out
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=1x -benchmem $(BENCH_PKGS) > /dev/null
+
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=3 $(BENCH_PKGS) | tee bench.out
+	$(GO) run ./scripts/benchdiff -update bench.out
 
 # Tiny-scale benchmark sweep over every paper table/figure.
-bench:
+bench-paper:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Regenerate the paper's figures (text + SVG + JSON) at default scale.
@@ -38,4 +57,4 @@ examples:
 	$(GO) run ./examples/policytrace
 
 clean:
-	rm -f fig2_bandit.svg fig4_shared.svg fig12_mumama.svg
+	rm -f fig2_bandit.svg fig4_shared.svg fig12_mumama.svg bench.out

@@ -28,8 +28,9 @@ var (
 	runnerOnce sync.Once
 	runner     *experiment.Runner
 
-	cacheMu sync.Mutex
-	cache   = map[string]interface{}{}
+	cacheMu       sync.Mutex
+	cache         = map[string]interface{}{}
+	cacheInflight = map[string]chan struct{}{}
 )
 
 func benchScale() experiment.Scale {
@@ -51,21 +52,43 @@ func getRunner() *experiment.Runner {
 }
 
 // cached memoizes an experiment across benchmark iterations and
-// benchmarks.
+// benchmarks. The lock is scoped to cache bookkeeping only — the
+// experiment itself runs unlocked, with per-key in-flight channels
+// coalescing concurrent callers, so one slow experiment cannot
+// serialize unrelated benchmarks.
 func cached[T any](b *testing.B, key string, f func() (T, error)) T {
 	b.Helper()
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if v, ok := cache[key]; ok {
-		return v.(T)
+	for {
+		cacheMu.Lock()
+		if v, ok := cache[key]; ok {
+			cacheMu.Unlock()
+			return v.(T)
+		}
+		ch, inflight := cacheInflight[key]
+		if inflight {
+			cacheMu.Unlock()
+			<-ch // leader finished (or failed); re-check the cache
+			continue
+		}
+		ch = make(chan struct{})
+		cacheInflight[key] = ch
+		cacheMu.Unlock()
+
+		v, err := f()
+
+		cacheMu.Lock()
+		delete(cacheInflight, key)
+		if err == nil {
+			cache[key] = v
+		}
+		cacheMu.Unlock()
+		close(ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n%v\n", v)
+		return v
 	}
-	v, err := f()
-	if err != nil {
-		b.Fatal(err)
-	}
-	cache[key] = v
-	fmt.Printf("\n%v\n", v)
-	return v
 }
 
 // --- Tables ---------------------------------------------------------

@@ -22,6 +22,7 @@ import (
 	"micromama/internal/dram"
 	"micromama/internal/experiment"
 	"micromama/internal/prefetch"
+	"micromama/internal/profiling"
 	"micromama/internal/sim"
 )
 
@@ -41,7 +42,16 @@ func main() {
 	scaleName := flag.String("scale", "small", "tiny | small | default | full")
 	flag.StringVar(&svgDir, "svg", "", "also write figures as SVG files into this directory")
 	flag.StringVar(&jsonDir, "json", "", "also write report data as JSON files into this directory")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mamabench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	for _, dir := range []string{svgDir, jsonDir} {
 		if dir != "" {
@@ -55,11 +65,13 @@ func main() {
 	scale, ok := scales[*scaleName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "mamabench: unknown scale %q\n", *scaleName)
+		stopProf()
 		os.Exit(2)
 	}
 	ids := flag.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "mamabench: no experiments named (try `mamabench all`)")
+		stopProf()
 		os.Exit(2)
 	}
 	if len(ids) == 1 && ids[0] == "all" {
@@ -72,6 +84,7 @@ func main() {
 		fmt.Printf("==== %s (scale %s) ====\n", id, *scaleName)
 		if err := run(r, id); err != nil {
 			fmt.Fprintf(os.Stderr, "mamabench: %s: %v\n", id, err)
+			stopProf() // os.Exit skips deferred calls
 			os.Exit(1)
 		}
 		fmt.Println()

@@ -14,6 +14,7 @@
 //	GET  /v1/stats               service counters
 //	GET  /v1/catalog             traces, controllers, scales
 //	GET  /healthz                liveness
+//	GET  /debug/pprof/           live profiling (net/http/pprof)
 package main
 
 import (

@@ -18,6 +18,7 @@ import (
 	"micromama/internal/dram"
 	"micromama/internal/experiment"
 	"micromama/internal/metrics"
+	"micromama/internal/profiling"
 	"micromama/internal/sim"
 	"micromama/internal/workload"
 )
@@ -33,8 +34,23 @@ func main() {
 		channels   = flag.Int("channels", 1, "DRAM channels")
 		list       = flag.Bool("list", false, "list catalog traces and exit")
 		ctrls      = flag.Bool("controllers", false, "list controllers and exit")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mamasim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	// os.Exit skips deferred calls; flush profiles on the error paths too.
+	fatal := func(code int, args ...any) {
+		fmt.Fprintln(os.Stderr, args...)
+		stopProf()
+		os.Exit(code)
+	}
 
 	if *list {
 		for _, s := range workload.Catalog() {
@@ -53,8 +69,7 @@ func main() {
 		return
 	}
 	if *traces == "" {
-		fmt.Fprintln(os.Stderr, "mamasim: -traces is required (try -list)")
-		os.Exit(2)
+		fatal(2, "mamasim: -traces is required (try -list)")
 	}
 
 	names := strings.Split(*traces, ",")
@@ -62,8 +77,7 @@ func main() {
 	for i, n := range names {
 		sp, err := workload.ByName(strings.TrimSpace(n))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mamasim:", err)
-			os.Exit(2)
+			fatal(2, "mamasim:", err)
 		}
 		specs[i] = sp
 	}
@@ -85,8 +99,7 @@ func main() {
 		for _, key := range keys {
 			res, err := runner.RunMix(mix, cfg, strings.TrimSpace(key), experiment.Options{})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "mamasim:", err)
-				os.Exit(1)
+				fatal(1, "mamasim:", err)
 			}
 			fmt.Printf("%-16s %8.3f %8.3f %8.3f %10.2f %12d\n",
 				key, res.WS, res.HS, metrics.GM(res.Speedups), res.Unfairness,
@@ -97,8 +110,7 @@ func main() {
 
 	res, err := runner.RunMix(mix, cfg, *controller, experiment.Options{})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mamasim:", err)
-		os.Exit(1)
+		fatal(1, "mamasim:", err)
 	}
 
 	fmt.Printf("controller: %s   system: %d cores, %s (%.1f GB/s)\n\n",

@@ -5,6 +5,14 @@
 //
 // The cache is a passive state container; the memory-hierarchy walk in
 // package sim decides when to look up, fill, and forward requests.
+//
+// Everything here is on the simulator's per-instruction hot path, so
+// the implementation is allocation-free and map-free in steady state:
+// the MSHR tracker is a fixed-capacity array scanned linearly (it holds
+// at most ~MSHRs entries, so a scan beats hashing), and Lookup memoizes
+// the way it resolved — the matched way on a hit, the victim Fill would
+// choose on a miss — so the Lookup-then-Fill and Lookup-then-MarkDirty
+// patterns of the hierarchy walk touch each set exactly once.
 package cache
 
 import "fmt"
@@ -87,6 +95,15 @@ type Victim struct {
 	Prefetched bool
 }
 
+// mshr is one tracked outstanding fill: the line address and the cycle
+// its data lands. The tracker is an unordered array scanned linearly —
+// it holds at most ~MSHRs entries, so a scan is faster than a map and
+// never allocates.
+type mshr struct {
+	addr  uint64
+	ready uint64
+}
+
 // Cache is one set-associative cache level.
 type Cache struct {
 	cfg       Config
@@ -96,10 +113,21 @@ type Cache struct {
 	stamp     uint64
 	stats     Stats
 
-	// inflight maps line address -> cycle at which the fill lands,
+	// Way memo from the most recent Lookup: the matched way on a hit,
+	// the way Fill would victimize on a miss. Valid while no mutation
+	// has advanced the stamp; Fill and MarkDirty consult it to skip
+	// re-walking the set in the Lookup-then-act patterns of the
+	// hierarchy walk. A stale memo falls back to the full walk, so
+	// correctness never depends on it.
+	memoLine  uint64
+	memoStamp uint64
+	memoWay   int32 // -1 when no memo
+	memoHit   bool
+
+	// inflight tracks line address -> cycle at which the fill lands,
 	// emulating MSHRs for the synchronous timing walk. State (the line
-	// itself) is installed eagerly; timing consults this map.
-	inflight map[uint64]uint64
+	// itself) is installed eagerly; timing consults this array.
+	inflight []mshr
 }
 
 // New constructs a cache. It panics on invalid configuration (a
@@ -117,7 +145,11 @@ func New(cfg Config) *Cache {
 		lines:     make([]line, cfg.Sets*cfg.Ways),
 		setMask:   uint64(cfg.Sets - 1),
 		lineShift: shift,
-		inflight:  make(map[uint64]uint64, cfg.MSHRs*2),
+		memoWay:   -1,
+		// One slot of slack: a fill whose completion precedes every
+		// tracked entry is still recorded at capacity (see pruneInflight),
+		// so occupancy can transiently exceed MSHRs.
+		inflight: make([]mshr, 0, cfg.MSHRs+1),
 	}
 }
 
@@ -130,10 +162,16 @@ func (c *Cache) Stats() Stats { return c.stats }
 // LineAddr aligns addr down to its cache line.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
 
-func (c *Cache) set(addr uint64) []line {
-	idx := (addr >> c.lineShift) & c.setMask
-	base := int(idx) * c.cfg.Ways
+// setFor returns the ways of addr's set. lineNo is addr >> lineShift;
+// it doubles as the tag, so callers compute the shift once.
+func (c *Cache) setFor(lineNo uint64) []line {
+	base := int(lineNo&c.setMask) * c.cfg.Ways
 	return c.lines[base : base+c.cfg.Ways]
+}
+
+// memoFor reports whether the way memo applies to lineNo right now.
+func (c *Cache) memoFor(lineNo uint64) bool {
+	return c.memoWay >= 0 && c.memoLine == lineNo && c.memoStamp == c.stamp
 }
 
 // LookupResult describes the outcome of a Lookup.
@@ -150,13 +188,13 @@ type LookupResult struct {
 
 // Lookup performs a demand (demand=true) or probe (demand=false) lookup
 // at cycle now. Demand lookups update LRU, stats, and prefetch-useful
-// accounting; probes are side-effect-free except for nothing at all.
+// accounting; probes leave stats and LRU untouched (expired in-flight
+// entries are retired either way).
 func (c *Cache) Lookup(addr uint64, now uint64, demand bool) LookupResult {
-	la := c.LineAddr(addr)
-	tag := la >> c.lineShift
-	set := c.set(addr)
+	lineNo := addr >> c.lineShift
+	set := c.setFor(lineNo)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].valid && set[i].tag == lineNo {
 			var res LookupResult
 			res.Hit = true
 			if demand {
@@ -170,16 +208,19 @@ func (c *Cache) Lookup(addr uint64, now uint64, demand bool) LookupResult {
 					c.stats.PrefetchUseful++
 				}
 			}
-			if ready, ok := c.inflight[la]; ok {
-				if ready > now {
-					res.ReadyAt = ready
-					if demand && res.WasPrefetched {
-						c.stats.PrefetchLate++
+			if len(c.inflight) != 0 {
+				if j := c.findInflight(lineNo << c.lineShift); j >= 0 {
+					if ready := c.inflight[j].ready; ready > now {
+						res.ReadyAt = ready
+						if demand && res.WasPrefetched {
+							c.stats.PrefetchLate++
+						}
+					} else {
+						c.removeInflightAt(j)
 					}
-				} else {
-					delete(c.inflight, la)
 				}
 			}
+			c.memoLine, c.memoStamp, c.memoWay, c.memoHit = lineNo, c.stamp, int32(i), true
 			return res
 		}
 	}
@@ -187,16 +228,31 @@ func (c *Cache) Lookup(addr uint64, now uint64, demand bool) LookupResult {
 		c.stats.Accesses++
 		c.stats.Misses++
 	}
+	c.memoLine, c.memoStamp, c.memoWay, c.memoHit = lineNo, c.stamp, int32(victimWay(set)), false
 	return LookupResult{}
+}
+
+// victimWay picks the way Fill would displace: the first invalid way,
+// else the least recently used (lowest index breaking ties).
+func victimWay(set []line) int {
+	victim, minUse := -1, uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+		if victim < 0 || set[i].lastUse < minUse {
+			victim, minUse = i, set[i].lastUse
+		}
+	}
+	return victim
 }
 
 // Contains reports whether addr's line is present (no side effects).
 func (c *Cache) Contains(addr uint64) bool {
-	la := c.LineAddr(addr)
-	tag := la >> c.lineShift
-	set := c.set(addr)
+	lineNo := addr >> c.lineShift
+	set := c.setFor(lineNo)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].valid && set[i].tag == lineNo {
 			return true
 		}
 	}
@@ -206,40 +262,60 @@ func (c *Cache) Contains(addr uint64) bool {
 // Fill installs addr's line, evicting the LRU way if needed, and records
 // it as in flight until readyAt. prefetched marks the line for
 // usefulness accounting; dirty marks it modified (e.g. a store fill or a
-// writeback from above).
+// writeback from above). A valid way memo from a preceding Lookup of the
+// same line resolves the target way directly; otherwise present-check
+// and victim selection share one walk of the set.
 func (c *Cache) Fill(addr uint64, readyAt uint64, prefetched, dirty bool) Victim {
-	la := c.LineAddr(addr)
-	tag := la >> c.lineShift
-	set := c.set(addr)
+	lineNo := addr >> c.lineShift
+	set := c.setFor(lineNo)
 	c.stamp++
+	if c.memoStamp == c.stamp-1 && c.memoLine == lineNo && c.memoWay >= 0 {
+		if c.memoHit {
+			// Already present (e.g. racing prefetch and demand): refresh.
+			set[c.memoWay].lastUse = c.stamp
+			if dirty {
+				set[c.memoWay].dirty = true
+			}
+			return Victim{}
+		}
+		return c.fillAt(set, int(c.memoWay), lineNo, readyAt, prefetched, dirty)
+	}
 
-	// Already present (e.g. racing prefetch and demand): refresh flags.
+	firstInvalid, lru := -1, -1
+	var minUse uint64
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if !set[i].valid {
+			if firstInvalid < 0 {
+				firstInvalid = i
+			}
+			continue
+		}
+		if set[i].tag == lineNo {
+			// Already present: refresh.
 			set[i].lastUse = c.stamp
 			if dirty {
 				set[i].dirty = true
 			}
 			return Victim{}
 		}
-	}
-
-	victimIdx := -1
-	for i := range set {
-		if !set[i].valid {
-			victimIdx = i
-			break
+		if lru < 0 || set[i].lastUse < minUse {
+			lru, minUse = i, set[i].lastUse
 		}
 	}
-	var v Victim
+	victimIdx := firstInvalid
 	if victimIdx < 0 {
-		victimIdx = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lastUse < set[victimIdx].lastUse {
-				victimIdx = i
-			}
-		}
-		old := set[victimIdx]
+		victimIdx = lru
+	}
+	return c.fillAt(set, victimIdx, lineNo, readyAt, prefetched, dirty)
+}
+
+// fillAt installs lineNo at victimIdx (accounting any eviction) and
+// tracks the fill in flight. The caller has already bumped the stamp
+// and established that lineNo is absent from the set.
+func (c *Cache) fillAt(set []line, victimIdx int, lineNo, readyAt uint64, prefetched, dirty bool) Victim {
+	var v Victim
+	old := &set[victimIdx]
+	if old.valid {
 		v = Victim{Addr: old.tag << c.lineShift, Dirty: old.dirty, Valid: true, Prefetched: old.prefetched}
 		c.stats.Evictions++
 		if old.dirty {
@@ -248,29 +324,62 @@ func (c *Cache) Fill(addr uint64, readyAt uint64, prefetched, dirty bool) Victim
 		if old.prefetched {
 			c.stats.PrefetchUnused++
 		}
-		delete(c.inflight, v.Addr)
+		c.dropInflight(v.Addr)
 	}
-	set[victimIdx] = line{tag: tag, lastUse: c.stamp, valid: true, dirty: dirty, prefetched: prefetched}
+	*old = line{tag: lineNo, lastUse: c.stamp, valid: true, dirty: dirty, prefetched: prefetched}
 	if prefetched {
 		c.stats.PrefetchFills++
 	}
 	if readyAt > 0 {
 		c.pruneInflight(readyAt)
-		c.inflight[la] = readyAt
+		c.inflight = append(c.inflight, mshr{addr: lineNo << c.lineShift, ready: readyAt})
 	}
 	return v
 }
 
 // MarkDirty sets the dirty bit on addr's line if present (store hit).
+// A valid hit memo from a preceding Lookup resolves the way directly.
 func (c *Cache) MarkDirty(addr uint64) {
-	la := c.LineAddr(addr)
-	tag := la >> c.lineShift
-	set := c.set(addr)
+	lineNo := addr >> c.lineShift
+	set := c.setFor(lineNo)
+	if c.memoFor(lineNo) {
+		if c.memoHit {
+			set[c.memoWay].dirty = true
+		}
+		return
+	}
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].valid && set[i].tag == lineNo {
 			set[i].dirty = true
 			return
 		}
+	}
+}
+
+// findInflight returns the tracker index of line address la, or -1.
+func (c *Cache) findInflight(la uint64) int {
+	for i := range c.inflight {
+		if c.inflight[i].addr == la {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeInflightAt drops entry i (order is not maintained).
+func (c *Cache) removeInflightAt(i int) {
+	last := len(c.inflight) - 1
+	c.inflight[i] = c.inflight[last]
+	c.inflight = c.inflight[:last]
+}
+
+// dropInflight removes la's entry if tracked.
+func (c *Cache) dropInflight(la uint64) {
+	if len(c.inflight) == 0 {
+		return
+	}
+	if i := c.findInflight(la); i >= 0 {
+		c.removeInflightAt(i)
 	}
 }
 
@@ -287,31 +396,34 @@ func (c *Cache) MSHRFull(now uint64) bool {
 	return c.InflightCount(now) >= c.cfg.MSHRs
 }
 
-// pruneInflight drops inflight entries that completed at or before now.
-// The map stays small (bounded by MSHRs in steady state) so a full scan
-// is fine.
+// pruneInflight drops inflight entries that completed at or before now,
+// but only once the tracker is at capacity — matching the lazy pruning
+// the timing model was validated with.
 func (c *Cache) pruneInflight(now uint64) {
 	if len(c.inflight) < c.cfg.MSHRs {
 		return
 	}
-	for a, ready := range c.inflight {
-		if ready <= now {
-			delete(c.inflight, a)
+	for i := 0; i < len(c.inflight); {
+		if c.inflight[i].ready <= now {
+			c.removeInflightAt(i)
+		} else {
+			i++
 		}
 	}
 }
 
 // Invalidate drops addr's line if present, returning whether it was
-// dirty (caller may need to write it back).
+// dirty (caller may need to write it back). Invalidation advances the
+// LRU stamp so a stale way memo cannot resolve against the changed set.
 func (c *Cache) Invalidate(addr uint64) (wasDirty, wasValid bool) {
-	la := c.LineAddr(addr)
-	tag := la >> c.lineShift
-	set := c.set(addr)
+	lineNo := addr >> c.lineShift
+	set := c.setFor(lineNo)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].valid && set[i].tag == lineNo {
+			c.stamp++
 			wasDirty = set[i].dirty
 			set[i] = line{}
-			delete(c.inflight, la)
+			c.dropInflight(lineNo << c.lineShift)
 			return wasDirty, true
 		}
 	}

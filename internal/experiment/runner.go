@@ -215,23 +215,35 @@ func (r *Runner) MixesFor(cores int) []workload.Mix { return r.mixesFor(cores) }
 // RunMixes runs every mix under the named controller, in parallel
 // across r.Workers goroutines. Results are index-aligned with mixes.
 func (r *Runner) RunMixes(mixes []workload.Mix, cfg sim.Config, key string, opt Options) ([]MixResult, error) {
-	// Warm the baseline cache serially first so parallel workers start
-	// from hits; concurrent misses would still coalesce via the
-	// runner's singleflight.
+	// Warm the baseline cache first so the mix workers start from hits.
+	// Each distinct trace is a full single-core simulation, so the
+	// warming runs span the worker pool too; duplicate keys coalesce via
+	// the runner's singleflight.
 	seen := map[string]bool{}
+	var specs []workload.Spec
 	for _, m := range mixes {
 		for _, sp := range m.Specs {
 			if !seen[sp.Name] {
 				seen[sp.Name] = true
-				r.BaselineIPC(sp, cfg)
+				specs = append(specs, sp)
 			}
 		}
 	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, r.Workers))
+	for _, sp := range specs {
+		wg.Add(1)
+		go func(sp workload.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r.BaselineIPC(sp, cfg)
+		}(sp)
+	}
+	wg.Wait()
 
 	out := make([]MixResult, len(mixes))
 	errs := make([]error, len(mixes))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(1, r.Workers))
 	for i := range mixes {
 		wg.Add(1)
 		go func(i int) {

@@ -1,0 +1,58 @@
+// Package profiling wires the standard runtime profilers into the
+// command-line tools: a CPU profile collected for the life of the
+// process and a heap profile written at exit. Both are opt-in via file
+// paths (empty means off) and are read with `go tool pprof`.
+//
+// The long-running service (mamaserved) exposes the same data over
+// HTTP via net/http/pprof instead; see internal/server.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profilers selected by the given output paths and
+// returns a stop function flushing them. The stop function is
+// idempotent, so it can be both deferred and called explicitly before
+// os.Exit (which skips deferred calls).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling: write heap profile:", err)
+			}
+		}
+	}, nil
+}

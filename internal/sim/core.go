@@ -41,6 +41,11 @@ type Core struct {
 	// consulted when fetch crosses a line boundary.
 	lastFetchLine uint64
 
+	// Line-alignment masks derived from the configured line sizes
+	// (addr & mask == line-aligned addr).
+	fetchLineMask uint64 // from L1I.LineBytes
+	loadLineMask  uint64 // from L1D.LineBytes
+
 	// per-level outstanding-prefetch trackers (rings of completion
 	// times): hardware gives each level its own prefetch MSHR budget,
 	// so an L2 prefetch flood cannot starve L1 coverage.
@@ -68,21 +73,23 @@ func newCore(sys *System, id int, tr trace.Reader, engine prefetch.Prefetcher) *
 		l1Engine = p.L1Engine(id)
 	}
 	c := &Core{
-		sys:       sys,
-		id:        id,
-		traceName: tr.Name(),
-		tr:        trace.NewLooping(tr),
-		base:      uint64(id+1) << sys.cfg.AddrSpaceShift,
-		l1i:       cache.New(sys.cfg.L1I),
-		l1d:       cache.New(sys.cfg.L1D),
-		l2:        cache.New(sys.cfg.L2),
-		l1Engine:  l1Engine,
-		l2Engine:  engine,
-		pending:   make([]pendingMiss, 0, sys.cfg.MLP+1),
-		pfL1:      newPFRing(8),
-		pfL2:      newPFRing(sys.cfg.PrefetchQueue),
-		candBuf:   make([]uint64, 0, 64),
-		l1Buf:     make([]uint64, 0, 8),
+		sys:           sys,
+		id:            id,
+		traceName:     tr.Name(),
+		tr:            trace.NewLooping(tr),
+		base:          uint64(id+1) << sys.cfg.AddrSpaceShift,
+		l1i:           cache.New(sys.cfg.L1I),
+		l1d:           cache.New(sys.cfg.L1D),
+		l2:            cache.New(sys.cfg.L2),
+		l1Engine:      l1Engine,
+		l2Engine:      engine,
+		pending:       make([]pendingMiss, 0, sys.cfg.MLP+1),
+		fetchLineMask: ^(sys.cfg.L1I.LineBytes - 1),
+		loadLineMask:  ^(sys.cfg.L1D.LineBytes - 1),
+		pfL1:          newPFRing(8),
+		pfL2:          newPFRing(sys.cfg.PrefetchQueue),
+		candBuf:       make([]uint64, 0, 64),
+		l1Buf:         make([]uint64, 0, 8),
 	}
 	if fb, ok := engine.(prefetch.Feedback); ok {
 		c.feedback = fb
@@ -139,7 +146,7 @@ func (c *Core) freeze() {
 // unified L2 and stalls the pipeline (front-end stalls are not hidden
 // by the ROB).
 func (c *Core) doFetch(pc uint64) {
-	line := pc &^ 63
+	line := pc & c.fetchLineMask
 	if line == c.lastFetchLine {
 		return
 	}
@@ -189,7 +196,7 @@ func (c *Core) doLoad(ins trace.Instr) {
 	}
 	// Same-line accesses merge into one MSHR: don't consume another
 	// MLP slot for a line already outstanding.
-	line := addr &^ 63
+	line := addr & c.loadLineMask
 	for i := len(c.pending) - 1; i >= c.pHead; i-- {
 		if c.pending[i].line == line {
 			return
@@ -215,18 +222,18 @@ func (c *Core) pushMiss(done, line uint64) {
 	for c.pHead < len(c.pending) && c.pending[c.pHead].done <= c.cycle {
 		c.pHead++
 	}
-	stallOn := func(m pendingMiss) {
-		if m.done > c.cycle {
-			c.cycle = m.done
+	for len(c.pending)-c.pHead > cfg.MLP {
+		if d := c.pending[c.pHead].done; d > c.cycle {
+			c.cycle = d
 			c.subCycle = 0
 		}
-	}
-	for len(c.pending)-c.pHead > cfg.MLP {
-		stallOn(c.pending[c.pHead])
 		c.pHead++
 	}
 	for c.pHead < len(c.pending) && c.instr-c.pending[c.pHead].idx >= uint64(cfg.ROB) {
-		stallOn(c.pending[c.pHead])
+		if d := c.pending[c.pHead].done; d > c.cycle {
+			c.cycle = d
+			c.subCycle = 0
+		}
 		c.pHead++
 	}
 	// Compact the FIFO occasionally.
@@ -278,12 +285,10 @@ func (c *Core) access(pc, addr uint64, store bool) (done uint64, fast bool) {
 		ready = c.fetchIntoL2(t2, addr, false)
 	}
 
-	// Fill L1; a dirty victim merges into L2.
+	// Fill L1 (a store fill installs the line dirty); a dirty victim
+	// merges into L2.
 	if v := c.l1d.Fill(addr, ready, false, store); v.Valid && v.Dirty {
 		c.l2.MarkDirty(v.Addr)
-	}
-	if store {
-		c.l1d.MarkDirty(addr)
 	}
 
 	c.issueL2Prefetches(t2)
