@@ -27,8 +27,8 @@ check: build vet test race bench-smoke
 # advance benchmarks, and end-to-end simulator throughput, compared
 # against the checked-in baseline. Regenerate the baseline on a quiet
 # machine with `make bench-baseline`.
-BENCH_PATTERN = BenchmarkLookup|BenchmarkFillEvict|BenchmarkMarkDirty|BenchmarkCoreAdvance|BenchmarkSimulatorThroughput
-BENCH_PKGS    = ./internal/cache ./internal/sim .
+BENCH_PATTERN = BenchmarkLookup|BenchmarkFillEvict|BenchmarkMarkDirty|BenchmarkCoreAdvance|BenchmarkSimulatorThroughput|BenchmarkTrace
+BENCH_PKGS    = ./internal/cache ./internal/sim ./internal/trace .
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) | tee bench.out

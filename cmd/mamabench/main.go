@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"micromama/internal/core"
 	"micromama/internal/dram"
@@ -79,11 +83,22 @@ func main() {
 			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16", "sec63"}
 	}
 
+	// Ctrl-C cancels in-flight simulations at their next epoch boundary
+	// instead of killing the process mid-report (and still flushes any
+	// requested profiles).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	r := experiment.NewRunner(scale)
+	r.BaseCtx = ctx
 	for _, id := range ids {
 		fmt.Printf("==== %s (scale %s) ====\n", id, *scaleName)
 		if err := run(r, id); err != nil {
-			fmt.Fprintf(os.Stderr, "mamabench: %s: %v\n", id, err)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "mamabench: interrupted")
+			} else {
+				fmt.Fprintf(os.Stderr, "mamabench: %s: %v\n", id, err)
+			}
 			stopProf() // os.Exit skips deferred calls
 			os.Exit(1)
 		}

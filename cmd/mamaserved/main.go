@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"micromama/internal/server"
+	"micromama/internal/trace"
 )
 
 func main() {
@@ -39,8 +40,17 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "default per-job timeout")
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "upper bound on client-requested timeouts")
 		maxCores   = flag.Int("max-cores", 16, "largest mix a job may request")
+		traceCache = flag.String("trace-cache", "", "directory of MMT1 trace files (from tracegen) preloaded into the shared trace pool; cached traces loop at their recorded length")
 	)
 	flag.Parse()
+
+	if *traceCache != "" {
+		n, errs := trace.DefaultPool().PreloadDir(*traceCache)
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "mamaserved: trace-cache:", err)
+		}
+		fmt.Printf("mamaserved: preloaded %d trace(s) from %s\n", n, *traceCache)
+	}
 
 	svc := server.New(server.Config{
 		Workers:        *workers,

@@ -77,13 +77,22 @@ func (s Stats) Delta(prev Stats) Stats {
 	}
 }
 
+// line is one way of a set, packed into 16 bytes so a set walk streams
+// through 2–4 host cache lines instead of 6: the tag word plus a meta
+// word holding the LRU timestamp in the high bits and the state flags
+// in the low three. The timestamp never overflows its 61 bits (that
+// would take ~2e18 cache touches).
 type line struct {
-	tag        uint64
-	lastUse    uint64 // LRU timestamp
-	valid      bool
-	dirty      bool
-	prefetched bool
+	tag  uint64
+	meta uint64 // lastUse<<lineUseShift | flag bits
 }
+
+const (
+	lineValid      = 1 << 0
+	lineDirty      = 1 << 1
+	linePrefetched = 1 << 2
+	lineUseShift   = 3
+)
 
 // Victim describes a line displaced by a Fill.
 type Victim struct {
@@ -109,6 +118,7 @@ type Cache struct {
 	cfg       Config
 	lines     []line // sets*ways, row-major by set
 	setMask   uint64
+	ways      int // copy of cfg.Ways, hot in setFor
 	lineShift uint
 	stamp     uint64
 	stats     Stats
@@ -144,6 +154,7 @@ func New(cfg Config) *Cache {
 		cfg:       cfg,
 		lines:     make([]line, cfg.Sets*cfg.Ways),
 		setMask:   uint64(cfg.Sets - 1),
+		ways:      cfg.Ways,
 		lineShift: shift,
 		memoWay:   -1,
 		// One slot of slack: a fill whose completion precedes every
@@ -165,8 +176,8 @@ func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.l
 // setFor returns the ways of addr's set. lineNo is addr >> lineShift;
 // it doubles as the tag, so callers compute the shift once.
 func (c *Cache) setFor(lineNo uint64) []line {
-	base := int(lineNo&c.setMask) * c.cfg.Ways
-	return c.lines[base : base+c.cfg.Ways]
+	base := int(lineNo&c.setMask) * c.ways
+	return c.lines[base : base+c.ways]
 }
 
 // memoFor reports whether the way memo applies to lineNo right now.
@@ -193,20 +204,34 @@ type LookupResult struct {
 func (c *Cache) Lookup(addr uint64, now uint64, demand bool) LookupResult {
 	lineNo := addr >> c.lineShift
 	set := c.setFor(lineNo)
+	// Victim selection is fused into the tag walk so a miss costs one
+	// pass over the set instead of two: track the first invalid way and
+	// the LRU valid way as we search. The choice is identical to a
+	// separate victimWay scan (first invalid, else lowest lastUse with
+	// lowest index breaking ties).
+	invalid, lru := -1, -1
+	var minUse uint64
 	for i := range set {
-		if set[i].valid && set[i].tag == lineNo {
+		m := set[i].meta
+		if m&lineValid == 0 {
+			if invalid < 0 {
+				invalid = i
+			}
+			continue
+		}
+		if set[i].tag == lineNo {
 			var res LookupResult
 			res.Hit = true
 			if demand {
 				c.stamp++
-				set[i].lastUse = c.stamp
 				c.stats.Accesses++
 				c.stats.Hits++
-				if set[i].prefetched {
-					set[i].prefetched = false
+				if m&linePrefetched != 0 {
 					res.WasPrefetched = true
 					c.stats.PrefetchUseful++
 				}
+				// Refresh LRU; a demand touch clears the prefetched bit.
+				set[i].meta = c.stamp<<lineUseShift | lineValid | (m & lineDirty)
 			}
 			if len(c.inflight) != 0 {
 				if j := c.findInflight(lineNo << c.lineShift); j >= 0 {
@@ -223,28 +248,20 @@ func (c *Cache) Lookup(addr uint64, now uint64, demand bool) LookupResult {
 			c.memoLine, c.memoStamp, c.memoWay, c.memoHit = lineNo, c.stamp, int32(i), true
 			return res
 		}
+		if use := m >> lineUseShift; lru < 0 || use < minUse {
+			lru, minUse = i, use
+		}
 	}
 	if demand {
 		c.stats.Accesses++
 		c.stats.Misses++
 	}
-	c.memoLine, c.memoStamp, c.memoWay, c.memoHit = lineNo, c.stamp, int32(victimWay(set)), false
-	return LookupResult{}
-}
-
-// victimWay picks the way Fill would displace: the first invalid way,
-// else the least recently used (lowest index breaking ties).
-func victimWay(set []line) int {
-	victim, minUse := -1, uint64(0)
-	for i := range set {
-		if !set[i].valid {
-			return i
-		}
-		if victim < 0 || set[i].lastUse < minUse {
-			victim, minUse = i, set[i].lastUse
-		}
+	victim := invalid
+	if victim < 0 {
+		victim = lru
 	}
-	return victim
+	c.memoLine, c.memoStamp, c.memoWay, c.memoHit = lineNo, c.stamp, int32(victim), false
+	return LookupResult{}
 }
 
 // Contains reports whether addr's line is present (no side effects).
@@ -252,7 +269,7 @@ func (c *Cache) Contains(addr uint64) bool {
 	lineNo := addr >> c.lineShift
 	set := c.setFor(lineNo)
 	for i := range set {
-		if set[i].valid && set[i].tag == lineNo {
+		if set[i].meta&lineValid != 0 && set[i].tag == lineNo {
 			return true
 		}
 	}
@@ -272,10 +289,12 @@ func (c *Cache) Fill(addr uint64, readyAt uint64, prefetched, dirty bool) Victim
 	if c.memoStamp == c.stamp-1 && c.memoLine == lineNo && c.memoWay >= 0 {
 		if c.memoHit {
 			// Already present (e.g. racing prefetch and demand): refresh.
-			set[c.memoWay].lastUse = c.stamp
+			m := set[c.memoWay].meta
+			nm := c.stamp<<lineUseShift | (m & (lineValid | lineDirty | linePrefetched))
 			if dirty {
-				set[c.memoWay].dirty = true
+				nm |= lineDirty
 			}
+			set[c.memoWay].meta = nm
 			return Victim{}
 		}
 		return c.fillAt(set, int(c.memoWay), lineNo, readyAt, prefetched, dirty)
@@ -284,7 +303,8 @@ func (c *Cache) Fill(addr uint64, readyAt uint64, prefetched, dirty bool) Victim
 	firstInvalid, lru := -1, -1
 	var minUse uint64
 	for i := range set {
-		if !set[i].valid {
+		m := set[i].meta
+		if m&lineValid == 0 {
 			if firstInvalid < 0 {
 				firstInvalid = i
 			}
@@ -292,14 +312,15 @@ func (c *Cache) Fill(addr uint64, readyAt uint64, prefetched, dirty bool) Victim
 		}
 		if set[i].tag == lineNo {
 			// Already present: refresh.
-			set[i].lastUse = c.stamp
+			nm := c.stamp<<lineUseShift | (m & (lineValid | lineDirty | linePrefetched))
 			if dirty {
-				set[i].dirty = true
+				nm |= lineDirty
 			}
+			set[i].meta = nm
 			return Victim{}
 		}
-		if lru < 0 || set[i].lastUse < minUse {
-			lru, minUse = i, set[i].lastUse
+		if use := m >> lineUseShift; lru < 0 || use < minUse {
+			lru, minUse = i, use
 		}
 	}
 	victimIdx := firstInvalid
@@ -315,18 +336,25 @@ func (c *Cache) Fill(addr uint64, readyAt uint64, prefetched, dirty bool) Victim
 func (c *Cache) fillAt(set []line, victimIdx int, lineNo, readyAt uint64, prefetched, dirty bool) Victim {
 	var v Victim
 	old := &set[victimIdx]
-	if old.valid {
-		v = Victim{Addr: old.tag << c.lineShift, Dirty: old.dirty, Valid: true, Prefetched: old.prefetched}
+	if om := old.meta; om&lineValid != 0 {
+		v = Victim{Addr: old.tag << c.lineShift, Dirty: om&lineDirty != 0, Valid: true, Prefetched: om&linePrefetched != 0}
 		c.stats.Evictions++
-		if old.dirty {
+		if om&lineDirty != 0 {
 			c.stats.Writebacks++
 		}
-		if old.prefetched {
+		if om&linePrefetched != 0 {
 			c.stats.PrefetchUnused++
 		}
 		c.dropInflight(v.Addr)
 	}
-	*old = line{tag: lineNo, lastUse: c.stamp, valid: true, dirty: dirty, prefetched: prefetched}
+	nm := c.stamp<<lineUseShift | lineValid
+	if dirty {
+		nm |= lineDirty
+	}
+	if prefetched {
+		nm |= linePrefetched
+	}
+	*old = line{tag: lineNo, meta: nm}
 	if prefetched {
 		c.stats.PrefetchFills++
 	}
@@ -344,13 +372,13 @@ func (c *Cache) MarkDirty(addr uint64) {
 	set := c.setFor(lineNo)
 	if c.memoFor(lineNo) {
 		if c.memoHit {
-			set[c.memoWay].dirty = true
+			set[c.memoWay].meta |= lineDirty
 		}
 		return
 	}
 	for i := range set {
-		if set[i].valid && set[i].tag == lineNo {
-			set[i].dirty = true
+		if set[i].meta&lineValid != 0 && set[i].tag == lineNo {
+			set[i].meta |= lineDirty
 			return
 		}
 	}
@@ -419,9 +447,9 @@ func (c *Cache) Invalidate(addr uint64) (wasDirty, wasValid bool) {
 	lineNo := addr >> c.lineShift
 	set := c.setFor(lineNo)
 	for i := range set {
-		if set[i].valid && set[i].tag == lineNo {
+		if set[i].meta&lineValid != 0 && set[i].tag == lineNo {
 			c.stamp++
-			wasDirty = set[i].dirty
+			wasDirty = set[i].meta&lineDirty != 0
 			set[i] = line{}
 			c.dropInflight(lineNo << c.lineShift)
 			return wasDirty, true

@@ -137,6 +137,30 @@ type DRAM struct {
 	chans []channel
 	stats Stats
 	burst uint64
+
+	// Address-mapping fast path: when the relevant geometry values are
+	// powers of two (they are, for every built-in config), the per-access
+	// channel/bank/row decode is shifts and masks instead of 64-bit
+	// divisions. fastMap gates the path; the slow divide remains for
+	// arbitrary geometries.
+	fastMap      bool
+	lineShift    uint
+	chMask       uint64
+	rowShift     uint
+	bankMask     uint64
+	rowAddrShift uint
+}
+
+func log2of(v uint64) (uint, bool) {
+	if v == 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n, true
 }
 
 // New constructs a DRAM model. It panics on invalid configuration.
@@ -145,6 +169,20 @@ func New(cfg Config) *DRAM {
 		panic(err)
 	}
 	d := &DRAM{cfg: cfg, burst: cfg.BurstCycles()}
+	if ls, ok1 := log2of(cfg.LineBytes); ok1 {
+		if cs, ok2 := log2of(uint64(cfg.Channels)); ok2 {
+			if rs, ok3 := log2of(cfg.RowBytes); ok3 {
+				if bs, ok4 := log2of(uint64(cfg.BanksPerChannel)); ok4 {
+					d.fastMap = true
+					d.lineShift = ls
+					d.chMask = uint64(cfg.Channels) - 1
+					d.rowShift = rs
+					d.bankMask = uint64(cfg.BanksPerChannel) - 1
+					d.rowAddrShift = rs + bs + cs
+				}
+			}
+		}
+	}
 	d.chans = make([]channel, cfg.Channels)
 	for i := range d.chans {
 		d.chans[i].banks = make([]bank, cfg.BanksPerChannel)
@@ -175,7 +213,12 @@ func (d *DRAM) AccessPrefetch(now uint64, addr uint64) (done uint64, ok bool) {
 }
 
 func (d *DRAM) access(now uint64, addr uint64, write, pf bool) (uint64, bool) {
-	chIdx := int((addr / d.cfg.LineBytes) % uint64(d.cfg.Channels))
+	var chIdx int
+	if d.fastMap {
+		chIdx = int((addr >> d.lineShift) & d.chMask)
+	} else {
+		chIdx = int((addr / d.cfg.LineBytes) % uint64(d.cfg.Channels))
+	}
 	ch := &d.chans[chIdx]
 
 	if pf && d.cfg.PrefetchHorizon > 0 && ch.busFree > now+d.cfg.PrefetchHorizon {
@@ -191,13 +234,23 @@ func (d *DRAM) access(now uint64, addr uint64, write, pf bool) (uint64, bool) {
 		if oldest > start {
 			start = oldest
 		}
-		ch.qHead = (ch.qHead + 1) % d.cfg.QueueDepth
+		ch.qHead++
+		if ch.qHead == d.cfg.QueueDepth {
+			ch.qHead = 0
+		}
 		ch.qLen--
 	}
 
-	bIdx := int((addr / d.cfg.RowBytes) % uint64(d.cfg.BanksPerChannel))
+	var bIdx int
+	var row uint64
+	if d.fastMap {
+		bIdx = int((addr >> d.rowShift) & d.bankMask)
+		row = addr >> d.rowAddrShift
+	} else {
+		bIdx = int((addr / d.cfg.RowBytes) % uint64(d.cfg.BanksPerChannel))
+		row = addr / (d.cfg.RowBytes * uint64(d.cfg.BanksPerChannel) * uint64(d.cfg.Channels))
+	}
 	b := &ch.banks[bIdx]
-	row := addr / (d.cfg.RowBytes * uint64(d.cfg.BanksPerChannel) * uint64(d.cfg.Channels))
 
 	if b.busyTil > start {
 		start = b.busyTil
@@ -230,7 +283,10 @@ func (d *DRAM) access(now uint64, addr uint64, write, pf bool) (uint64, bool) {
 	d.stats.QueueDelay += dataStart - now - lat
 
 	// Record completion in the queue ring.
-	tail := (ch.qHead + ch.qLen) % d.cfg.QueueDepth
+	tail := ch.qHead + ch.qLen
+	if tail >= d.cfg.QueueDepth {
+		tail -= d.cfg.QueueDepth
+	}
 	ch.queue[tail] = done
 	ch.qLen++
 

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -187,9 +188,16 @@ type Runner struct {
 	Scale   Scale
 	Workers int
 
+	// BaseCtx, when non-nil, is the context used by the non-Context
+	// entry points (RunMix, RunMixes, Profiles, ...): drivers like
+	// cmd/mamabench set it once (e.g. to a signal-cancelled context)
+	// so every experiment they trigger honors cancellation without
+	// threading a context through each figure helper.
+	BaseCtx context.Context
+
 	mu       sync.Mutex
-	baseline map[string]float64       // baseline|trace|dram -> alone no-L2-pref IPC
-	profiles map[string][]float64     // profile|mixKey|dram -> S^MP per core
+	baseline map[string]float64       // baseline|trace|cfgFingerprint -> alone no-L2-pref IPC
+	profiles map[string][]float64     // profile|mixKey|cfgFingerprint -> S^MP per core
 	inflight map[string]chan struct{} // singleflight: closed when the keyed computation ends
 }
 
@@ -202,4 +210,12 @@ func NewRunner(scale Scale) *Runner {
 		profiles: make(map[string][]float64),
 		inflight: make(map[string]chan struct{}),
 	}
+}
+
+// baseCtx resolves the context for non-Context entry points.
+func (r *Runner) baseCtx() context.Context {
+	if r.BaseCtx != nil {
+		return r.BaseCtx
+	}
+	return context.Background()
 }

@@ -54,7 +54,7 @@ func (r *Runner) singleflight(ctx context.Context, key string, cached func() (an
 // one computation. Errors degrade to a zero baseline (and a zero
 // speedup downstream); use BaselineIPCContext to observe them.
 func (r *Runner) BaselineIPC(spec workload.Spec, cfg sim.Config) float64 {
-	ipc, _ := r.BaselineIPCContext(context.Background(), spec, cfg)
+	ipc, _ := r.BaselineIPCContext(r.baseCtx(), spec, cfg)
 	return ipc
 }
 
@@ -62,12 +62,16 @@ func (r *Runner) BaselineIPC(spec workload.Spec, cfg sim.Config) float64 {
 // reporting. A failed or cancelled computation is not cached, so a
 // later call retries it.
 func (r *Runner) BaselineIPCContext(ctx context.Context, spec workload.Spec, cfg sim.Config) (float64, error) {
-	key := "baseline|" + spec.Name + "|" + cfg.DRAM.Name
+	// The baseline always runs single-core; key on the fingerprint of
+	// that effective config so sweeps that vary any parameter (cache
+	// sizes, latencies, ...) never share a stale baseline, while all
+	// core-count variants of one config share the same one.
+	c := cfg
+	c.Cores = 1
+	key := "baseline|" + spec.Name + "|" + c.Fingerprint()
 	v, err := r.singleflight(ctx, key,
 		func() (any, bool) { v, ok := r.baseline[key]; return v, ok },
 		func() (any, error) {
-			c := cfg
-			c.Cores = 1
 			mix := workload.Mix{Specs: []workload.Spec{spec}}
 			sys, err := sim.New(c, mix.Traces(), sim.NoPrefetchController())
 			if err != nil {
@@ -95,18 +99,21 @@ func (r *Runner) BaselineIPCContext(ctx context.Context, spec workload.Spec, cfg
 // Results are cached per (mix, DRAM config); concurrent callers for the
 // same key share one computation.
 func (r *Runner) Profiles(mix workload.Mix, cfg sim.Config) ([]float64, error) {
-	return r.ProfilesContext(context.Background(), mix, cfg)
+	return r.ProfilesContext(r.baseCtx(), mix, cfg)
 }
 
 // ProfilesContext is Profiles with cancellation. A failed or cancelled
 // profiling run is not cached, so a later call retries it.
 func (r *Runner) ProfilesContext(ctx context.Context, mix workload.Mix, cfg sim.Config) ([]float64, error) {
-	key := "profile|" + mix.Name() + "|" + cfg.DRAM.Name
+	// Like the baseline cache, the profile cache keys on the effective
+	// config's fingerprint — two different configs with the same DRAM
+	// name must not share S^MP profiles.
+	c := cfg
+	c.Cores = len(mix.Specs)
+	key := "profile|" + mix.Name() + "|" + c.Fingerprint()
 	v, err := r.singleflight(ctx, key,
 		func() (any, bool) { v, ok := r.profiles[key]; return v, ok },
 		func() (any, error) {
-			c := cfg
-			c.Cores = len(mix.Specs)
 			sys, err := sim.New(c, mix.Traces(), sim.NoPrefetchController())
 			if err != nil {
 				return []float64(nil), fmt.Errorf("experiment: profile run for %s: %w", mix.Name(), err)
@@ -139,7 +146,7 @@ func (r *Runner) ProfilesContext(ctx context.Context, mix workload.Mix, cfg sim.
 // RunMix runs one mix under the named controller and computes the
 // speedup metrics against single-core no-L2-prefetch baselines.
 func (r *Runner) RunMix(mix workload.Mix, cfg sim.Config, key string, opt Options) (MixResult, error) {
-	return r.RunMixContext(context.Background(), mix, cfg, key, opt)
+	return r.RunMixContext(r.baseCtx(), mix, cfg, key, opt)
 }
 
 // RunMixContext is RunMix with cancellation: the simulation (and any
@@ -171,7 +178,7 @@ func (r *Runner) RunMixContext(ctx context.Context, mix workload.Mix, cfg sim.Co
 // RunMixWith runs one mix under a caller-constructed controller (for
 // custom configurations the key-based factory cannot express).
 func (r *Runner) RunMixWith(mix workload.Mix, cfg sim.Config, ctrl sim.Controller) (MixResult, error) {
-	return r.RunMixWithContext(context.Background(), mix, cfg, ctrl)
+	return r.RunMixWithContext(r.baseCtx(), mix, cfg, ctrl)
 }
 
 // RunMixWithContext is RunMixWith with cancellation.
@@ -215,6 +222,13 @@ func (r *Runner) MixesFor(cores int) []workload.Mix { return r.mixesFor(cores) }
 // RunMixes runs every mix under the named controller, in parallel
 // across r.Workers goroutines. Results are index-aligned with mixes.
 func (r *Runner) RunMixes(mixes []workload.Mix, cfg sim.Config, key string, opt Options) ([]MixResult, error) {
+	return r.RunMixesContext(r.baseCtx(), mixes, cfg, key, opt)
+}
+
+// RunMixesContext is RunMixes with cancellation: once ctx is done,
+// in-flight simulations stop at their next epoch boundary, queued mixes
+// are not started, and ctx's error is returned.
+func (r *Runner) RunMixesContext(ctx context.Context, mixes []workload.Mix, cfg sim.Config, key string, opt Options) ([]MixResult, error) {
 	// Warm the baseline cache first so the mix workers start from hits.
 	// Each distinct trace is a full single-core simulation, so the
 	// warming runs span the worker pool too; duplicate keys coalesce via
@@ -237,7 +251,10 @@ func (r *Runner) RunMixes(mixes []workload.Mix, cfg sim.Config, key string, opt 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r.BaselineIPC(sp, cfg)
+			if ctx.Err() != nil {
+				return
+			}
+			r.BaselineIPCContext(ctx, sp, cfg)
 		}(sp)
 	}
 	wg.Wait()
@@ -250,7 +267,11 @@ func (r *Runner) RunMixes(mixes []workload.Mix, cfg sim.Config, key string, opt 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = r.RunMix(mixes[i], cfg, key, opt)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			out[i], errs[i] = r.RunMixContext(ctx, mixes[i], cfg, key, opt)
 		}(i)
 	}
 	wg.Wait()

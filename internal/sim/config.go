@@ -7,6 +7,9 @@
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"micromama/internal/cache"
@@ -91,4 +94,19 @@ func (c Config) Validate() error {
 		}
 	}
 	return c.DRAM.Validate()
+}
+
+// Fingerprint returns a short, stable digest of the full configuration,
+// for use as a cache key: two configs share a fingerprint iff every
+// field (cache geometries, latencies, DRAM timing, core limits, ...)
+// marshals identically. Prefer this over any single field (e.g. the
+// DRAM name) when memoizing per-config results.
+func (c Config) Fingerprint() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config is a plain value struct; Marshal cannot fail on it.
+		panic(fmt.Sprintf("sim: fingerprint config: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
 }

@@ -20,8 +20,19 @@ type Core struct {
 	sys       *System
 	id        int
 	traceName string
-	tr        *trace.Looping
 	base      uint64 // per-core address-space offset
+
+	// Instruction supply. The core consumes fixed-size batches instead
+	// of one virtual Next() per instruction: blockSrc (if the reader
+	// supports zero-copy views) or batchSrc/src refill batch, and the
+	// inner loop indexes it directly. Exhaustion wraps the trace
+	// (Reset + refill), matching the paper's trace-restart methodology.
+	src      trace.Reader
+	blockSrc trace.BlockReader // src, when it serves direct slices
+	batchSrc trace.BatchReader // src, when it serves bulk copies
+	batch    []trace.Instr     // current window; persists across epochs
+	batchPos int
+	fillBuf  []trace.Instr // private refill buffer for non-block readers
 
 	cycle    uint64
 	subCycle int
@@ -76,7 +87,7 @@ func newCore(sys *System, id int, tr trace.Reader, engine prefetch.Prefetcher) *
 		sys:           sys,
 		id:            id,
 		traceName:     tr.Name(),
-		tr:            trace.NewLooping(tr),
+		src:           tr,
 		base:          uint64(id+1) << sys.cfg.AddrSpaceShift,
 		l1i:           cache.New(sys.cfg.L1I),
 		l1d:           cache.New(sys.cfg.L1D),
@@ -94,28 +105,82 @@ func newCore(sys *System, id int, tr trace.Reader, engine prefetch.Prefetcher) *
 	if fb, ok := engine.(prefetch.Feedback); ok {
 		c.feedback = fb
 	}
+	if bs, ok := tr.(trace.BlockReader); ok {
+		c.blockSrc = bs
+	} else {
+		if br, ok := tr.(trace.BatchReader); ok {
+			c.batchSrc = br
+		}
+		c.fillBuf = make([]trace.Instr, coreBatch)
+	}
 	return c
+}
+
+// coreBatch is how many instructions one refill pulls from the trace:
+// big enough to amortize the interface call, small enough that the
+// window stays cache-resident.
+const coreBatch = 256
+
+// refill replaces the exhausted batch window with the next one, wrapping
+// the trace like trace.Looping did (Reset and retry once). It returns
+// false only for an empty trace.
+func (c *Core) refill() bool {
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.blockSrc != nil {
+			if blk := c.blockSrc.NextBlock(coreBatch); len(blk) > 0 {
+				c.batch, c.batchPos = blk, 0
+				return true
+			}
+		} else {
+			n := 0
+			if c.batchSrc != nil {
+				n = c.batchSrc.ReadBatch(c.fillBuf)
+			} else {
+				for n < len(c.fillBuf) {
+					ins, ok := c.src.Next()
+					if !ok {
+						break
+					}
+					c.fillBuf[n] = ins
+					n++
+				}
+			}
+			if n > 0 {
+				c.batch, c.batchPos = c.fillBuf[:n], 0
+				return true
+			}
+		}
+		c.src.Reset()
+	}
+	return false
 }
 
 // advance executes instructions until the core's local clock reaches
 // epochEnd, freezing stats the moment the instruction target is
 // crossed.
 func (c *Core) advance(epochEnd, target uint64) {
-	cfg := &c.sys.cfg
+	commitWidth := c.sys.cfg.CommitWidth
 	for c.cycle < epochEnd {
-		ins, ok := c.tr.Next()
-		if !ok {
-			// Empty trace: stall forever at the epoch boundary.
-			c.cycle = epochEnd
-			return
+		if c.batchPos >= len(c.batch) {
+			if !c.refill() {
+				// Empty trace: stall forever at the epoch boundary.
+				c.cycle = epochEnd
+				return
+			}
 		}
+		ins := c.batch[c.batchPos]
+		c.batchPos++
 		c.instr++
 		c.subCycle++
-		if c.subCycle >= cfg.CommitWidth {
+		if c.subCycle >= commitWidth {
 			c.cycle++
 			c.subCycle = 0
 		}
-		c.doFetch(ins.PC)
+		// Fetch fast path inlined: the L1I is only consulted when fetch
+		// crosses a line boundary, which straight-line code rarely does.
+		if ins.PC&c.fetchLineMask != c.lastFetchLine {
+			c.doFetch(ins.PC)
+		}
 		switch ins.Kind {
 		case trace.Load:
 			c.doLoad(ins)
@@ -144,7 +209,9 @@ func (c *Core) freeze() {
 // doFetch models the instruction front end: when fetch crosses into a
 // new cache line, the L1I is consulted; a miss fetches through the
 // unified L2 and stalls the pipeline (front-end stalls are not hidden
-// by the ROB).
+// by the ROB). advance inlines the same-line fast path; callers only
+// reach here on a line crossing (the check below keeps it correct for
+// any caller).
 func (c *Core) doFetch(pc uint64) {
 	line := pc & c.fetchLineMask
 	if line == c.lastFetchLine {
@@ -406,32 +473,40 @@ func (c *Core) issueL1Prefetches(now uint64) {
 }
 
 // pfRing tracks outstanding prefetches at one level as a ring of
-// completion times.
+// completion times. The physical ring is rounded up to a power of two
+// so index wrap is a mask instead of a modulo; limit keeps the logical
+// capacity (the prefetch budget) exact for non-power-of-two configs.
 type pfRing struct {
-	done []uint64
-	head int
-	n    int
+	done  []uint64
+	mask  int
+	limit int
+	head  int
+	n     int
 }
 
 func newPFRing(capacity int) pfRing {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return pfRing{done: make([]uint64, capacity)}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return pfRing{done: make([]uint64, size), mask: size - 1, limit: capacity}
 }
 
 // reserve reports whether a new prefetch may be issued at cycle now,
 // pruning completed entries.
 func (r *pfRing) reserve(now uint64) bool {
 	for r.n > 0 && r.done[r.head] <= now {
-		r.head = (r.head + 1) % len(r.done)
+		r.head = (r.head + 1) & r.mask
 		r.n--
 	}
-	return r.n < len(r.done)
+	return r.n < r.limit
 }
 
 func (r *pfRing) record(done uint64) {
-	tail := (r.head + r.n) % len(r.done)
+	tail := (r.head + r.n) & r.mask
 	r.done[tail] = done
 	r.n++
 }

@@ -163,6 +163,27 @@ func (t *FileTrace) Next() (Instr, bool) {
 	}, true
 }
 
+// ReadBatch implements BatchReader: it decodes up to len(dst) records
+// in one pass over the buffered file.
+func (t *FileTrace) ReadBatch(dst []Instr) int {
+	n := 0
+	var rec [recordBytes]byte
+	for n < len(dst) && t.read < t.count {
+		if _, err := io.ReadFull(t.r, rec[:]); err != nil {
+			break
+		}
+		dst[n] = Instr{
+			PC:    binary.LittleEndian.Uint64(rec[0:8]),
+			Addr:  binary.LittleEndian.Uint64(rec[8:16]),
+			Kind:  Kind(rec[16]),
+			Flags: Flags(rec[17]),
+		}
+		t.read++
+		n++
+	}
+	return n
+}
+
 // Reset implements Reader by seeking back to the first record.
 func (t *FileTrace) Reset() {
 	if _, err := t.f.Seek(t.dataOff, io.SeekStart); err != nil {
@@ -174,3 +195,62 @@ func (t *FileTrace) Reset() {
 
 // Close releases the underlying file.
 func (t *FileTrace) Close() error { return t.f.Close() }
+
+// SaveMaterialized writes a materialized trace to path in MMT1 format,
+// so it can be reloaded (LoadMaterialized, Pool.PreloadDir) instead of
+// regenerated in later processes.
+func SaveMaterialized(path string, m *Materialized) error {
+	_, err := WriteFile(path, m.Replay(), 0)
+	return err
+}
+
+// LoadMaterialized decodes a whole MMT1 trace file into a Materialized
+// slab.
+func LoadMaterialized(path string) (*Materialized, error) {
+	ft, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer ft.Close()
+	instrs := make([]Instr, ft.Len())
+	got := 0
+	for got < len(instrs) {
+		n := ft.ReadBatch(instrs[got:])
+		if n == 0 {
+			return nil, fmt.Errorf("trace: %s: truncated after %d of %d records", path, got, len(instrs))
+		}
+		got += n
+	}
+	return &Materialized{name: ft.Name(), instrs: instrs}, nil
+}
+
+// PreloadDir loads every MMT1 file in dir into the pool, keyed by the
+// trace name recorded in the file (the catalog spec name when written
+// by cmd/tracegen). Preloaded traces are complete as stored: a reader
+// loops at the file's record count, which must match how the trace was
+// generated for behavior to be comparable with streaming runs. Files
+// that fail to parse are skipped and reported in the returned error
+// list; n is the number of traces loaded.
+func (s *Pool) PreloadDir(dir string) (n int, errs []error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, []error{err}
+	}
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		path := dir + string(os.PathSeparator) + de.Name()
+		m, err := LoadMaterialized(path)
+		if err != nil {
+			if errors.Is(err, errBadMagic) {
+				continue // not a trace file
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
+			continue
+		}
+		s.Preload(m.Name(), m)
+		n++
+	}
+	return n, errs
+}

@@ -1,0 +1,120 @@
+package trace
+
+// Materialized trace replay: a trace decoded once into a flat, immutable
+// []Instr slab that any number of readers can replay concurrently. The
+// slab replaces per-instruction generator work (PRNG draws, modulo
+// arithmetic, interface dispatch) with an array read, which is what
+// makes replay the fast path of the simulator — see the "Trace
+// materialization & replay" section of docs/ARCHITECTURE.md.
+
+// BatchReader is a Reader that can fill a caller-owned buffer in bulk,
+// amortizing per-instruction dispatch across a whole batch.
+type BatchReader interface {
+	Reader
+	// ReadBatch fills dst with up to len(dst) instructions and returns
+	// how many were written. 0 means the trace is exhausted; calling
+	// ReadBatch again after that is undefined until Reset.
+	ReadBatch(dst []Instr) int
+}
+
+// BlockReader is a Reader that can expose direct read-only views into
+// its backing buffer: zero-copy batch decode. Callers must not mutate
+// or retain the returned slice past the next NextBlock/Reset call.
+type BlockReader interface {
+	Reader
+	// NextBlock returns a view of up to max upcoming instructions,
+	// advancing the cursor past them. An empty slice means the trace is
+	// exhausted until Reset.
+	NextBlock(max int) []Instr
+}
+
+// Materialized is an immutable in-memory trace: the complete record
+// sequence of some Reader, decoded once. It is safe for concurrent use;
+// replay cursors (Replay) carry all mutable state.
+type Materialized struct {
+	name   string
+	instrs []Instr
+}
+
+// Materialize drains r into a Materialized slab. If max > 0 the slab is
+// truncated to the first max records (the result then replays as a
+// finite trace that loops at max, like a trace file written with the
+// same cap). The reader is consumed; Reset it before reuse.
+func Materialize(r Reader, max uint64) *Materialized {
+	var instrs []Instr
+	if max > 0 {
+		instrs = make([]Instr, 0, max)
+	}
+	for max == 0 || uint64(len(instrs)) < max {
+		ins, ok := r.Next()
+		if !ok {
+			break
+		}
+		instrs = append(instrs, ins)
+	}
+	return &Materialized{name: r.Name(), instrs: instrs}
+}
+
+// NewMaterialized wraps an already-decoded record slab, taking
+// ownership of instrs (callers must not mutate it afterwards).
+func NewMaterialized(name string, instrs []Instr) *Materialized {
+	return &Materialized{name: name, instrs: instrs}
+}
+
+// Name identifies the trace.
+func (m *Materialized) Name() string { return m.name }
+
+// Len returns the number of records.
+func (m *Materialized) Len() int { return len(m.instrs) }
+
+// At returns record i.
+func (m *Materialized) At(i int) Instr { return m.instrs[i] }
+
+// Footprint returns the slab's approximate memory footprint in bytes.
+func (m *Materialized) Footprint() int64 { return int64(len(m.instrs)) * instrFootprint }
+
+// Replay returns a fresh cursor over the slab. Replays are independent:
+// any number may read the same Materialized concurrently.
+func (m *Materialized) Replay() *Replay { return &Replay{m: m} }
+
+// Replay is a cursor over a Materialized slab. It implements Reader,
+// BatchReader, and BlockReader; all three are allocation-free.
+type Replay struct {
+	m   *Materialized
+	pos int
+}
+
+// Name implements Reader.
+func (r *Replay) Name() string { return r.m.name }
+
+// Reset implements Reader.
+func (r *Replay) Reset() { r.pos = 0 }
+
+// Next implements Reader.
+func (r *Replay) Next() (Instr, bool) {
+	if r.pos >= len(r.m.instrs) {
+		return Instr{}, false
+	}
+	ins := r.m.instrs[r.pos]
+	r.pos++
+	return ins, true
+}
+
+// ReadBatch implements BatchReader.
+func (r *Replay) ReadBatch(dst []Instr) int {
+	n := copy(dst, r.m.instrs[r.pos:])
+	r.pos += n
+	return n
+}
+
+// NextBlock implements BlockReader: the returned slice aliases the slab
+// directly, so replay costs one bounds check per block.
+func (r *Replay) NextBlock(max int) []Instr {
+	end := r.pos + max
+	if end > len(r.m.instrs) {
+		end = len(r.m.instrs)
+	}
+	blk := r.m.instrs[r.pos:end]
+	r.pos = end
+	return blk
+}

@@ -1,0 +1,364 @@
+package trace
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a process-wide, content-addressed cache of materialized
+// traces. Entries are keyed by generator spec (the workload catalog
+// keys by trace name, which fully determines the generated stream) and
+// populated lazily: the first reader to need instruction n extends the
+// shared slab under a per-entry mutex (singleflight: concurrent readers
+// for the same range elect one extender), and every later reader —
+// the baseline run, the profile run, each controller run of a sweep —
+// replays the same read-only buffer instead of regenerating it.
+//
+// Replay is bit-identical to streaming generation by construction: the
+// slab holds exactly the records the generator emits, and a reader that
+// runs past what the budget allows degrades transparently to streaming
+// from its own generator instance positioned at the frontier.
+//
+// Budgeting: TotalBudget bounds the bytes of all slabs combined;
+// PerTraceBudget bounds one entry. When a trace would exceed its cap,
+// the slab stops growing (readers stream the tail); when the store is
+// full, Shared hands out plain streaming generators. Both fallbacks
+// preserve the generated sequence exactly.
+type Pool struct {
+	mu      sync.Mutex
+	total   int64
+	per     int64
+	used    int64
+	entries map[string]*sharedTrace
+
+	fallbacks atomic.Uint64 // Shared calls answered with a streaming reader
+}
+
+// PoolStats snapshots a Pool for monitoring and tests.
+type PoolStats struct {
+	Entries   int
+	UsedBytes int64
+	// Fallbacks counts Shared calls that returned a plain streaming
+	// reader because the store budget was exhausted.
+	Fallbacks uint64
+}
+
+// extendChunk is how many instructions one slab extension generates:
+// large enough to amortize locking and snapshot publication, small
+// enough that a short run does not over-generate.
+const extendChunk = 1 << 16
+
+// NewPool builds a store with the given byte budgets. totalBudget <= 0
+// disables materialization entirely (every Shared call streams);
+// perTraceBudget <= 0 defaults to totalBudget/8.
+func NewPool(totalBudget, perTraceBudget int64) *Pool {
+	if perTraceBudget <= 0 {
+		perTraceBudget = totalBudget / 8
+	}
+	if perTraceBudget > totalBudget {
+		perTraceBudget = totalBudget
+	}
+	return &Pool{total: totalBudget, per: perTraceBudget, entries: make(map[string]*sharedTrace)}
+}
+
+// DefaultTraceBudgetMB is the default total store budget in MiB,
+// overridable with the MAMA_TRACE_BUDGET_MB environment variable
+// (0 disables materialization).
+const DefaultTraceBudgetMB = 1024
+
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *Pool
+)
+
+// DefaultPool returns the process-wide trace store. Its total budget
+// is MAMA_TRACE_BUDGET_MB MiB (default 1 GiB; 0 disables
+// materialization) with the per-trace cap at 1/8 of the total.
+func DefaultPool() *Pool {
+	defaultPoolOnce.Do(func() {
+		mb := int64(DefaultTraceBudgetMB)
+		if env := os.Getenv("MAMA_TRACE_BUDGET_MB"); env != "" {
+			if v, err := strconv.ParseInt(env, 10, 64); err == nil && v >= 0 {
+				mb = v
+			}
+		}
+		defaultPool = NewPool(mb<<20, 0)
+	})
+	return defaultPool
+}
+
+// Stats snapshots the store.
+func (s *Pool) Stats() PoolStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return PoolStats{Entries: len(s.entries), UsedBytes: s.used, Fallbacks: s.fallbacks.Load()}
+}
+
+// Shared returns a reader replaying the trace identified by key,
+// materializing it (lazily, shared across all readers of the key) on
+// first use. factory must deterministically construct the generator for
+// key — the same key must always yield the same instruction stream.
+// When the store budget is exhausted the call transparently degrades to
+// factory() itself: a plain streaming reader.
+func (s *Pool) Shared(key string, factory func() Reader) Reader {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		if s.used >= s.total {
+			s.mu.Unlock()
+			s.fallbacks.Add(1)
+			return factory()
+		}
+		gen := factory()
+		e = &sharedTrace{store: s, name: gen.Name(), factory: factory, gen: gen}
+		e.snap.Store(&traceSnap{})
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+	return e.newReader()
+}
+
+// Preload registers an already-complete materialized trace under key
+// (an on-disk trace cache loaded at startup, for example). The slab is
+// final: readers loop at its end exactly like a trace-file replay.
+func (s *Pool) Preload(key string, m *Materialized) {
+	e := &sharedTrace{store: s, name: m.Name()}
+	e.snap.Store(&traceSnap{instrs: m.instrs, done: true})
+	s.mu.Lock()
+	if old, ok := s.entries[key]; ok {
+		old.mu.Lock()
+		oldLen := int64(len(old.snap.Load().instrs))
+		old.mu.Unlock()
+		s.used -= oldLen * instrFootprint
+	}
+	s.entries[key] = e
+	s.used += m.Footprint()
+	s.mu.Unlock()
+}
+
+// traceSnap is one published state of a shared slab. Snapshots are
+// immutable: extension builds a new one and swaps the pointer, so
+// readers never lock.
+type traceSnap struct {
+	instrs []Instr
+	// done: the generator ended; instrs is the complete trace.
+	done bool
+	// capped: the budget stops further growth; readers needing more
+	// stream the tail from their own generator.
+	capped bool
+}
+
+// sharedTrace is one store entry: a growing slab plus the single
+// generator instance that extends it.
+type sharedTrace struct {
+	store   *Pool
+	name    string
+	factory func() Reader
+
+	mu  sync.Mutex // serializes extension; snap is the read path
+	gen Reader     // positioned at the frontier; nil once done or handed to a tail reader
+
+	snap atomic.Pointer[traceSnap]
+}
+
+func (e *sharedTrace) newReader() *sharedReplay { return &sharedReplay{sh: e} }
+
+// ensure extends the slab to at least n instructions (or until the
+// trace ends or the budget caps it) and returns the latest snapshot.
+func (e *sharedTrace) ensure(n int) *traceSnap {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := e.snap.Load()
+	if len(snap.instrs) >= n || snap.done || snap.capped {
+		return snap
+	}
+	instrs := snap.instrs
+	done, capped := false, false
+	for len(instrs) < n {
+		grant := e.store.reserve(int64(len(instrs)))
+		if grant <= 0 {
+			capped = true
+			break
+		}
+		if grant > extendChunk {
+			grant = extendChunk
+		}
+		got := 0
+		for got < grant {
+			ins, ok := e.gen.Next()
+			if !ok {
+				done = true
+				break
+			}
+			instrs = append(instrs, ins)
+			got++
+		}
+		e.store.commit(int64(grant - got))
+		if done {
+			break
+		}
+	}
+	if done || capped {
+		// The generator is either exhausted or parked at the frontier
+		// for takeTail; extension is over either way.
+		if done {
+			e.gen = nil
+		}
+	}
+	next := &traceSnap{instrs: instrs, done: done, capped: capped}
+	e.snap.Store(next)
+	return next
+}
+
+// takeTail hands the entry's generator — positioned exactly at the
+// slab frontier — to the first reader that must stream past the cap.
+// Later readers rebuild their own generator and skip the prefix.
+func (e *sharedTrace) takeTail() Reader {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g := e.gen
+	e.gen = nil
+	return g
+}
+
+// tailReader returns a streaming reader positioned at instruction pos
+// of the trace (pos is always the slab frontier when called).
+func (e *sharedTrace) tailReader(pos int) Reader {
+	if g := e.takeTail(); g != nil {
+		return g
+	}
+	g := e.factory()
+	for i := 0; i < pos; i++ {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+	}
+	return g
+}
+
+// reserve grants up to extendChunk instructions of budget to an entry
+// whose slab currently holds have instructions. Returns the granted
+// instruction count (0 = capped).
+func (s *Pool) reserve(have int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	grant := int64(extendChunk)
+	if perLeft := s.per/instrFootprint - have; perLeft < grant {
+		grant = perLeft
+	}
+	if totalLeft := (s.total - s.used) / instrFootprint; totalLeft < grant {
+		grant = totalLeft
+	}
+	if grant <= 0 {
+		return 0
+	}
+	s.used += grant * instrFootprint
+	return int(grant)
+}
+
+// commit returns unused reserved budget (the generator ended before
+// filling its grant).
+func (s *Pool) commit(unusedInstrs int64) {
+	if unusedInstrs <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.used -= unusedInstrs * instrFootprint
+	s.mu.Unlock()
+}
+
+// sharedReplay is a cursor over a sharedTrace. It implements Reader,
+// BatchReader, and BlockReader. Replays are independent and safe to use
+// from different goroutines (one goroutine per replay).
+type sharedReplay struct {
+	sh  *sharedTrace
+	pos int
+
+	// tail streams instructions past the slab cap; non-nil once this
+	// replay crossed the frontier of a capped entry.
+	tail    Reader
+	tailBuf []Instr
+
+	// cur/curPos serve Next() block-by-block.
+	cur    []Instr
+	curPos int
+}
+
+// Name implements Reader.
+func (r *sharedReplay) Name() string { return r.sh.name }
+
+// Reset implements Reader. A discarded tail generator is rebuilt on
+// demand if this replay crosses the cap again.
+func (r *sharedReplay) Reset() {
+	r.pos = 0
+	r.tail = nil
+	r.cur, r.curPos = nil, 0
+}
+
+// Next implements Reader.
+func (r *sharedReplay) Next() (Instr, bool) {
+	if r.curPos >= len(r.cur) {
+		r.cur = r.NextBlock(extendChunk)
+		r.curPos = 0
+		if len(r.cur) == 0 {
+			return Instr{}, false
+		}
+	}
+	ins := r.cur[r.curPos]
+	r.curPos++
+	return ins, true
+}
+
+// ReadBatch implements BatchReader.
+func (r *sharedReplay) ReadBatch(dst []Instr) int {
+	blk := r.NextBlock(len(dst))
+	return copy(dst, blk)
+}
+
+// NextBlock implements BlockReader. Within the materialized prefix the
+// returned slice aliases the shared slab (zero copy); past a capped
+// frontier it is served from this replay's private streaming tail.
+func (r *sharedReplay) NextBlock(max int) []Instr {
+	if r.tail != nil {
+		return r.tailBlock(max)
+	}
+	snap := r.sh.snap.Load()
+	if r.pos+max > len(snap.instrs) && !snap.done && !snap.capped {
+		snap = r.sh.ensure(r.pos + max)
+	}
+	if r.pos >= len(snap.instrs) {
+		if snap.done {
+			return nil // end of trace; callers Reset to loop
+		}
+		// Capped: degrade to streaming from the frontier.
+		r.tail = r.sh.tailReader(r.pos)
+		return r.tailBlock(max)
+	}
+	end := r.pos + max
+	if end > len(snap.instrs) {
+		end = len(snap.instrs)
+	}
+	blk := snap.instrs[r.pos:end]
+	r.pos = end
+	return blk
+}
+
+func (r *sharedReplay) tailBlock(max int) []Instr {
+	if cap(r.tailBuf) < max {
+		r.tailBuf = make([]Instr, max)
+	}
+	buf := r.tailBuf[:max]
+	n := 0
+	for n < max {
+		ins, ok := r.tail.Next()
+		if !ok {
+			break
+		}
+		buf[n] = ins
+		n++
+	}
+	r.pos += n
+	return buf[:n]
+}

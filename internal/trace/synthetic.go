@@ -62,7 +62,10 @@ func NewStream(label string, cfg StreamConfig) *Stream {
 // Reset implements Reader.
 func (s *Stream) Reset() {
 	s.r.Reset()
-	s.pos = make([]uint64, s.cfg.Streams)
+	// Reset is on the looping hot path; reuse the slice.
+	if len(s.pos) != s.cfg.Streams {
+		s.pos = make([]uint64, s.cfg.Streams)
+	}
 	for i := range s.pos {
 		// Space the streams across the footprint.
 		s.pos[i] = uint64(i) * (s.cfg.Footprint / uint64(s.cfg.Streams))
@@ -137,7 +140,10 @@ func NewStride(label string, cfg StrideConfig) *Stride {
 // Reset implements Reader.
 func (s *Stride) Reset() {
 	s.r.Reset()
-	s.pos = make([]uint64, len(s.cfg.Strides))
+	// Reset is on the looping hot path; reuse the slice.
+	if len(s.pos) != len(s.cfg.Strides) {
+		s.pos = make([]uint64, len(s.cfg.Strides))
+	}
 	for i := range s.pos {
 		s.pos[i] = uint64(i) * (s.cfg.Footprint / uint64(len(s.cfg.Strides)))
 	}

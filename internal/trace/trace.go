@@ -11,6 +11,7 @@ package trace
 
 import (
 	"fmt"
+	"unsafe"
 )
 
 // Kind classifies an instruction for the timing model.
@@ -59,6 +60,10 @@ type Instr struct {
 	Flags Flags
 }
 
+// instrFootprint is the in-memory size of one Instr (24 bytes: two
+// words plus two bytes padded to a word), used for store budgeting.
+const instrFootprint = int64(unsafe.Sizeof(Instr{}))
+
 // Reader is a resettable instruction stream.
 type Reader interface {
 	// Next returns the next instruction. ok is false when the trace is
@@ -98,6 +103,24 @@ func (s *Slice) Reset() { s.pos = 0 }
 
 // Name implements Reader.
 func (s *Slice) Name() string { return s.Label }
+
+// ReadBatch implements BatchReader.
+func (s *Slice) ReadBatch(dst []Instr) int {
+	n := copy(dst, s.Instrs[s.pos:])
+	s.pos += n
+	return n
+}
+
+// NextBlock implements BlockReader.
+func (s *Slice) NextBlock(max int) []Instr {
+	end := s.pos + max
+	if end > len(s.Instrs) {
+		end = len(s.Instrs)
+	}
+	blk := s.Instrs[s.pos:end]
+	s.pos = end
+	return blk
+}
 
 // Looping wraps a Reader so it never ends: when the inner trace is
 // exhausted it is Reset and restarted, matching the paper's methodology

@@ -38,6 +38,15 @@ type Spec struct {
 // New instantiates a fresh reader for the trace.
 func (s Spec) New() trace.Reader { return s.factory() }
 
+// Shared returns a reader for the trace backed by the process-wide
+// materialized-trace pool: the instruction stream is generated once and
+// every Shared reader replays the same read-only slab (degrading to a
+// plain New() stream when the pool's memory budget is exhausted). The
+// replayed sequence is bit-identical to New()'s.
+func (s Spec) Shared() trace.Reader {
+	return trace.DefaultPool().Shared(s.Name, s.factory)
+}
+
 func seedOf(name string) uint64 {
 	var h uint64 = 1469598103934665603
 	for i := 0; i < len(name); i++ {
@@ -314,11 +323,15 @@ func (m Mix) Name() string {
 	return s + "}"
 }
 
-// Traces instantiates fresh readers for every core.
+// Traces returns one reader per core. Readers resolve through the
+// shared materialized-trace pool (Spec.Shared): concurrent baseline,
+// profile, and controller runs of the same mix replay one buffer
+// instead of regenerating the trace per run. Each reader has its own
+// cursor, so a mix may repeat a spec.
 func (m Mix) Traces() []trace.Reader {
 	out := make([]trace.Reader, len(m.Specs))
 	for i, sp := range m.Specs {
-		out[i] = sp.New()
+		out[i] = sp.Shared()
 	}
 	return out
 }
