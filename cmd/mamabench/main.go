@@ -28,6 +28,7 @@ import (
 	"micromama/internal/prefetch"
 	"micromama/internal/profiling"
 	"micromama/internal/sim"
+	"micromama/internal/telemetry"
 )
 
 var scales = map[string]experiment.Scale{
@@ -48,6 +49,7 @@ func main() {
 	flag.StringVar(&jsonDir, "json", "", "also write report data as JSON files into this directory")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	metricsOut := flag.String("metrics-dump", "", "write telemetry in Prometheus text format to this file at exit (\"-\" for stdout)")
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
@@ -56,6 +58,15 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+	dumpMetrics := func() {
+		if *metricsOut == "" {
+			return
+		}
+		if err := telemetry.DumpToFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mamabench: metrics-dump:", err)
+		}
+	}
+	defer dumpMetrics()
 
 	for _, dir := range []string{svgDir, jsonDir} {
 		if dir != "" {
@@ -99,7 +110,8 @@ func main() {
 			} else {
 				fmt.Fprintf(os.Stderr, "mamabench: %s: %v\n", id, err)
 			}
-			stopProf() // os.Exit skips deferred calls
+			dumpMetrics() // os.Exit skips deferred calls
+			stopProf()
 			os.Exit(1)
 		}
 		fmt.Println()

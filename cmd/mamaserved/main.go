@@ -13,6 +13,7 @@
 //	GET  /v1/jobs/{id}/result    metrics (202 until finished)
 //	GET  /v1/stats               service counters
 //	GET  /v1/catalog             traces, controllers, scales
+//	GET  /metrics                Prometheus text-format telemetry
 //	GET  /healthz                liveness
 //	GET  /debug/pprof/           live profiling (net/http/pprof)
 package main
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"micromama/internal/server"
+	"micromama/internal/telemetry"
 	"micromama/internal/trace"
 )
 
@@ -41,15 +43,19 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "upper bound on client-requested timeouts")
 		maxCores   = flag.Int("max-cores", 16, "largest mix a job may request")
 		traceCache = flag.String("trace-cache", "", "directory of MMT1 trace files (from tracegen) preloaded into the shared trace pool; cached traces loop at their recorded length")
+		logLevel   = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
+		logFormat  = flag.String("log-format", "text", "structured-log format: text|json")
 	)
 	flag.Parse()
+
+	logger := telemetry.NewLogger(*logLevel, *logFormat)
 
 	if *traceCache != "" {
 		n, errs := trace.DefaultPool().PreloadDir(*traceCache)
 		for _, err := range errs {
-			fmt.Fprintln(os.Stderr, "mamaserved: trace-cache:", err)
+			logger.Warn("trace-cache preload", "err", err)
 		}
-		fmt.Printf("mamaserved: preloaded %d trace(s) from %s\n", n, *traceCache)
+		logger.Info("trace cache preloaded", "traces", n, "dir", *traceCache)
 	}
 
 	svc := server.New(server.Config{
@@ -58,6 +64,7 @@ func main() {
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxCores:       *maxCores,
+		Logger:         logger,
 	})
 	defer svc.Close()
 
@@ -77,11 +84,11 @@ func main() {
 	}()
 
 	st := svc.Stats()
-	fmt.Printf("mamaserved: listening on %s (%d workers, queue depth %d)\n",
-		*addr, st.Workers, st.QueueCap)
+	logger.Info("mamaserved listening", "addr", *addr,
+		"workers", st.Workers, "queue_cap", st.QueueCap)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "mamaserved:", err)
 		os.Exit(1)
 	}
-	fmt.Println("mamaserved: shut down")
+	logger.Info("mamaserved shut down")
 }

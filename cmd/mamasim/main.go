@@ -20,6 +20,7 @@ import (
 	"micromama/internal/metrics"
 	"micromama/internal/profiling"
 	"micromama/internal/sim"
+	"micromama/internal/telemetry"
 	"micromama/internal/workload"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		ctrls      = flag.Bool("controllers", false, "list controllers and exit")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metricsOut = flag.String("metrics-dump", "", "write telemetry in Prometheus text format to this file at exit (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -45,9 +47,20 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
-	// os.Exit skips deferred calls; flush profiles on the error paths too.
+	dumpMetrics := func() {
+		if *metricsOut == "" {
+			return
+		}
+		if err := telemetry.DumpToFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mamasim: metrics-dump:", err)
+		}
+	}
+	defer dumpMetrics()
+	// os.Exit skips deferred calls; flush profiles and metrics on the
+	// error paths too.
 	fatal := func(code int, args ...any) {
 		fmt.Fprintln(os.Stderr, args...)
+		dumpMetrics()
 		stopProf()
 		os.Exit(code)
 	}

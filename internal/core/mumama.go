@@ -278,6 +278,14 @@ func (m *MuMama) GlobalRewardAssignments() uint64 { return m.grwAssigns }
 // GlobalSteps returns the number of completed global timesteps.
 func (m *MuMama) GlobalSteps() uint64 { return m.globalStep }
 
+// JointSteps returns how many global timesteps were dictated from the
+// JAV cache (the numerator of JointFraction).
+func (m *MuMama) JointSteps() uint64 { return m.jointSteps }
+
+// LocalSteps returns how many global timesteps fell back to the local
+// agents' own arm choices.
+func (m *MuMama) LocalSteps() uint64 { return m.localSteps }
+
 // OnL2Demand implements sim.Controller. Local agents mark themselves
 // ready at Step accesses; once a majority is ready — or one agent hits
 // KStep×Step — the global timestep advances (§4.3.1).

@@ -18,14 +18,25 @@ import (
 // backing map); failed computations are not cached, so a later caller
 // retries with its own context.
 func (r *Runner) singleflight(ctx context.Context, key string, cached func() (any, bool), compute func() (any, error)) (any, error) {
+	hits, misses, merges := cacheCounters(key)
+	first := true
 	for {
 		r.mu.Lock()
 		if v, ok := cached(); ok {
 			r.mu.Unlock()
+			if first {
+				// Waiters already counted as merges; don't double-count
+				// their post-wait cache read.
+				hits.Inc()
+			}
 			return v, nil
 		}
 		ch, inflight := r.inflight[key]
 		if inflight {
+			if first {
+				merges.Inc()
+				first = false
+			}
 			r.mu.Unlock()
 			select {
 			case <-ch:
@@ -37,6 +48,7 @@ func (r *Runner) singleflight(ctx context.Context, key string, cached func() (an
 		ch = make(chan struct{})
 		r.inflight[key] = ch
 		r.mu.Unlock()
+		misses.Inc()
 
 		v, err := compute()
 

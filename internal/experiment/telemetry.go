@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"strings"
+
+	"micromama/internal/telemetry"
+)
+
+// Baseline-IPC and S^MP-profile cache telemetry, shared by every Runner
+// in the process (mamaserved keeps one Runner per scale; the cache
+// counters aggregate across them).
+var (
+	expBaselineHits = telemetry.Default().Counter("mama_experiment_cache_hits_total",
+		"Runner cache lookups served without simulating, by cache.",
+		telemetry.L("cache", "baseline"))
+	expProfileHits = telemetry.Default().Counter("mama_experiment_cache_hits_total",
+		"Runner cache lookups served without simulating, by cache.",
+		telemetry.L("cache", "profile"))
+	expBaselineMisses = telemetry.Default().Counter("mama_experiment_cache_misses_total",
+		"Runner cache computations actually executed, by cache.",
+		telemetry.L("cache", "baseline"))
+	expProfileMisses = telemetry.Default().Counter("mama_experiment_cache_misses_total",
+		"Runner cache computations actually executed, by cache.",
+		telemetry.L("cache", "profile"))
+	expBaselineMerges = telemetry.Default().Counter("mama_experiment_singleflight_merges_total",
+		"Concurrent callers coalesced onto an in-flight computation, by cache.",
+		telemetry.L("cache", "baseline"))
+	expProfileMerges = telemetry.Default().Counter("mama_experiment_singleflight_merges_total",
+		"Concurrent callers coalesced onto an in-flight computation, by cache.",
+		telemetry.L("cache", "profile"))
+)
+
+// cacheCounters resolves the counter trio for a singleflight key; keys
+// are "baseline|..." or "profile|..." (see BaselineIPCContext and
+// ProfilesContext).
+func cacheCounters(key string) (hits, misses, merges *telemetry.Counter) {
+	if strings.HasPrefix(key, "profile|") {
+		return expProfileHits, expProfileMisses, expProfileMerges
+	}
+	return expBaselineHits, expBaselineMisses, expBaselineMerges
+}

@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
+
+	"micromama/internal/telemetry"
 )
 
 // job is the server-side state of one submitted simulation. The
@@ -17,6 +20,10 @@ type job struct {
 	key     string
 	spec    JobSpec
 	timeout time.Duration
+	// reqID is the request ID of the submission that created the job;
+	// coalesced submissions keep their own IDs in the access log but the
+	// worker-side lifecycle is logged under the creator's.
+	reqID string
 
 	mu         sync.Mutex
 	status     JobStatus
@@ -28,9 +35,9 @@ type job struct {
 	finishedAt time.Time
 }
 
-func newJob(id, key string, spec JobSpec, timeout time.Duration) *job {
+func newJob(id, key string, spec JobSpec, timeout time.Duration, reqID string) *job {
 	return &job{
-		id: id, key: key, spec: spec, timeout: timeout,
+		id: id, key: key, spec: spec, timeout: timeout, reqID: reqID,
 		status: StatusQueued, enqueuedAt: time.Now(),
 	}
 }
@@ -51,11 +58,15 @@ func (j *job) currentStatus() JobStatus {
 	return j.status
 }
 
-func (j *job) markRunning() {
+// markRunning flips the job to running and returns how long it waited
+// in the queue.
+func (j *job) markRunning() time.Duration {
 	j.mu.Lock()
 	j.status = StatusRunning
 	j.startedAt = time.Now()
+	wait := j.startedAt.Sub(j.enqueuedAt)
 	j.mu.Unlock()
+	return wait
 }
 
 func (j *job) finish(res JobResult, err error) {
@@ -117,6 +128,8 @@ type pool struct {
 	run      runFunc
 	baseCtx  context.Context
 	onFinish func(*job, JobResult, error)
+	m        *serverMetrics
+	log      *slog.Logger
 	wg       sync.WaitGroup
 }
 
@@ -125,23 +138,41 @@ type pool struct {
 // and fail fast during shutdown.
 func (p *pool) start(n int, q *queue) {
 	for i := 0; i < n; i++ {
+		worker := i
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
 			for j := range q.jobs() {
-				p.execute(j)
+				p.execute(worker, j)
 			}
 		}()
 	}
 }
 
-func (p *pool) execute(j *job) {
-	j.markRunning()
+func (p *pool) execute(worker int, j *job) {
+	wait := j.markRunning()
+	p.m.waitSeconds.Observe(wait.Seconds())
+	p.m.workersBusy.Add(1)
+	defer p.m.workersBusy.Add(-1)
+	p.log.Info("job started", "req", j.reqID, "job", j.id, "worker", worker,
+		"wait_ms", wait.Milliseconds())
+
 	ctx, cancel := context.WithTimeout(p.baseCtx, j.timeout)
+	ctx = telemetry.WithRequestID(ctx, j.reqID)
+	start := time.Now()
 	res, err := p.run(ctx, j.spec)
 	cancel()
+	run := time.Since(start)
+	p.m.runSeconds.Observe(run.Seconds())
 	if err != nil && errors.Is(err, context.DeadlineExceeded) {
 		err = fmt.Errorf("job exceeded its %v timeout: %w", j.timeout, err)
+	}
+	if err != nil {
+		p.log.Warn("job failed", "req", j.reqID, "job", j.id, "worker", worker,
+			"ms", run.Milliseconds(), "err", err)
+	} else {
+		p.log.Info("job finished", "req", j.reqID, "job", j.id, "worker", worker,
+			"ms", run.Milliseconds())
 	}
 	p.onFinish(j, res, err)
 }

@@ -3,17 +3,21 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"micromama/internal/dram"
 	"micromama/internal/experiment"
 	"micromama/internal/sim"
+	"micromama/internal/telemetry"
+	"micromama/internal/trace"
 	"micromama/internal/workload"
 )
 
@@ -30,6 +34,10 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxCores bounds the mix size a job may request (default 16).
 	MaxCores int
+	// Logger receives structured job-lifecycle logs with per-job request
+	// IDs (see internal/telemetry field conventions). nil discards them;
+	// cmd/mamaserved always sets one.
+	Logger *slog.Logger
 	// Run overrides the execution function (tests only); nil runs real
 	// simulations through a shared experiment.Runner per scale.
 	Run runFunc
@@ -51,6 +59,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxCores <= 0 {
 		c.MaxCores = 16
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -61,6 +72,13 @@ type Server struct {
 	q     *queue
 	cache *resultCache
 	pool  *pool
+	log   *slog.Logger
+
+	// reg is this server's private metric registry; metrics is the
+	// instrument set registered on it. /metrics serves reg followed by
+	// the process-wide default registry.
+	reg     *telemetry.Registry
+	metrics *serverMetrics
 
 	mu   sync.Mutex
 	jobs map[string]*job // job ID -> job (registry; IDs are content-derived)
@@ -70,14 +88,6 @@ type Server struct {
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
-
-	submitted   atomic.Uint64
-	completed   atomic.Uint64
-	failed      atomic.Uint64
-	rejected    atomic.Uint64
-	cacheHits   atomic.Uint64
-	dedupHits   atomic.Uint64
-	simulations atomic.Uint64
 }
 
 // New builds and starts a Server (its worker pool runs until Close).
@@ -88,19 +98,30 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		q:       newQueue(cfg.QueueDepth),
 		cache:   newResultCache(),
+		log:     cfg.Logger,
+		reg:     telemetry.NewRegistry(),
 		jobs:    make(map[string]*job),
 		runners: make(map[experiment.Scale]*experiment.Runner),
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
+	s.metrics = newServerMetrics(s.reg, s)
+	// Touch the shared trace pool so its mama_trace_pool_* series are
+	// registered on the default registry (and thus visible on /metrics)
+	// before the first job materializes a trace.
+	trace.DefaultPool()
 	run := cfg.Run
 	if run == nil {
 		run = s.simulate
 	}
-	s.pool = &pool{run: run, baseCtx: ctx, onFinish: s.finishJob}
+	s.pool = &pool{run: run, baseCtx: ctx, onFinish: s.finishJob, m: s.metrics, log: s.log}
 	s.pool.start(cfg.Workers, s.q)
 	return s
 }
+
+// Registry exposes the server's private metric registry (tests and
+// embedders; the HTTP surface is GET /metrics).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // Close stops admission, cancels in-flight jobs, and waits for workers.
 func (s *Server) Close() {
@@ -187,11 +208,20 @@ func (s *Server) simulate(ctx context.Context, spec JobSpec) (JobResult, error) 
 	}
 	runner := s.runnerFor(p.scale)
 	start := time.Now()
+	s.log.Debug("simulation starting",
+		"req", telemetry.RequestID(ctx), "job", p.id,
+		"mix", p.mix.Name(), "ctrl", p.spec.Controller, "scale", p.spec.Scale)
 	res, err := runner.RunMixContext(ctx, p.mix, p.cfg, p.spec.Controller, experiment.Options{})
 	if err != nil {
+		s.log.Warn("simulation failed",
+			"req", telemetry.RequestID(ctx), "job", p.id,
+			"ms", time.Since(start).Milliseconds(), "err", err)
 		return JobResult{}, err
 	}
-	s.simulations.Add(1)
+	s.metrics.simulations.Inc()
+	s.log.Debug("simulation finished",
+		"req", telemetry.RequestID(ctx), "job", p.id,
+		"ms", time.Since(start).Milliseconds(), "ws", res.WS)
 	out := JobResult{
 		Mix:        p.mix.Name(),
 		Controller: res.Controller,
@@ -217,9 +247,15 @@ func (s *Server) simulate(ctx context.Context, spec JobSpec) (JobResult, error) 
 func (s *Server) finishJob(j *job, res JobResult, err error) {
 	if err == nil {
 		s.cache.put(j.key, res)
-		s.completed.Add(1)
+		s.metrics.jobsCompleted.Inc()
 	} else {
-		s.failed.Add(1)
+		s.metrics.jobsFailed.Inc()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.metrics.jobsTimeout.Inc()
+		case errors.Is(err, context.Canceled):
+			s.metrics.jobsCancelled.Inc()
+		}
 	}
 	j.finish(res, err)
 }
@@ -240,6 +276,8 @@ func (s *Server) submit(spec JobSpec) (*job, int, error) {
 		}
 	}
 
+	reqID := telemetry.NewRequestID(p.id)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -250,8 +288,10 @@ func (s *Server) submit(spec JobSpec) (*job, int, error) {
 			j = doneJob(p.id, p.key, p.spec, res)
 			s.jobs[p.id] = j
 		}
-		s.cacheHits.Add(1)
-		s.submitted.Add(1)
+		s.metrics.cacheHits.Inc()
+		s.metrics.jobsSubmitted.Inc()
+		s.log.Info("job submitted", "req", reqID, "job", j.id, "outcome", "cache_hit",
+			"mix", j.spec.Mix, "ctrl", j.spec.Controller)
 		return j, http.StatusOK, nil
 	}
 
@@ -259,28 +299,37 @@ func (s *Server) submit(spec JobSpec) (*job, int, error) {
 	if j, ok := s.jobs[p.id]; ok {
 		switch j.currentStatus() {
 		case StatusQueued, StatusRunning:
-			s.dedupHits.Add(1)
-			s.submitted.Add(1)
+			s.metrics.dedupHits.Inc()
+			s.metrics.jobsSubmitted.Inc()
+			s.log.Info("job submitted", "req", reqID, "job", j.id, "outcome", "dedup",
+				"mix", j.spec.Mix, "ctrl", j.spec.Controller)
 			return j, http.StatusAccepted, nil
 		case StatusDone:
 			// Completed between the cache check and here, or a stale
 			// pre-cache entry; serve it as a cache hit.
-			s.cacheHits.Add(1)
-			s.submitted.Add(1)
+			s.metrics.cacheHits.Inc()
+			s.metrics.jobsSubmitted.Inc()
+			s.log.Info("job submitted", "req", reqID, "job", j.id, "outcome", "cache_hit",
+				"mix", j.spec.Mix, "ctrl", j.spec.Controller)
 			return j, http.StatusOK, nil
 		case StatusFailed:
 			// Fall through: a failed job is retried by resubmission.
 		}
 	}
 
-	j := newJob(p.id, p.key, p.spec, timeout)
+	j := newJob(p.id, p.key, p.spec, timeout, reqID)
 	if !s.q.tryPush(j) {
-		s.rejected.Add(1)
+		s.metrics.jobsRejected.Inc()
+		s.log.Warn("job rejected", "req", reqID, "job", p.id,
+			"queue_depth", s.q.depth(), "queue_cap", s.q.cap())
 		return nil, http.StatusTooManyRequests,
 			fmt.Errorf("queue full (%d jobs waiting); retry later", s.q.depth())
 	}
 	s.jobs[p.id] = j
-	s.submitted.Add(1)
+	s.metrics.cacheMisses.Inc()
+	s.metrics.jobsSubmitted.Inc()
+	s.log.Info("job submitted", "req", reqID, "job", j.id, "outcome", "queued",
+		"mix", j.spec.Mix, "ctrl", j.spec.Controller, "queue_depth", s.q.depth())
 	return j, http.StatusAccepted, nil
 }
 
@@ -292,19 +341,21 @@ func (s *Server) jobByID(id string) (*job, bool) {
 	return j, ok
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters (the JSON sibling of /metrics;
+// both read the same instruments).
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	tracked := len(s.jobs)
 	s.mu.Unlock()
+	m := s.metrics
 	return Stats{
-		Submitted:   s.submitted.Load(),
-		Completed:   s.completed.Load(),
-		Failed:      s.failed.Load(),
-		Rejected:    s.rejected.Load(),
-		CacheHits:   s.cacheHits.Load(),
-		DedupHits:   s.dedupHits.Load(),
-		Simulations: s.simulations.Load(),
+		Submitted:   m.jobsSubmitted.Value(),
+		Completed:   m.jobsCompleted.Value(),
+		Failed:      m.jobsFailed.Value(),
+		Rejected:    m.jobsRejected.Value(),
+		CacheHits:   m.cacheHits.Value(),
+		DedupHits:   m.dedupHits.Value(),
+		Simulations: m.simulations.Value(),
 		QueueDepth:  s.q.depth(),
 		QueueCap:    s.q.cap(),
 		Workers:     s.cfg.Workers,
@@ -324,6 +375,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Prometheus text-format exposition: this server's registry followed
+	// by the process-wide one (sim progress, trace pool, experiment
+	// caches).
+	mux.Handle("GET /metrics", telemetry.Handler(s.reg, telemetry.Default()))
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)

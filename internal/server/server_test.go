@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -251,6 +252,112 @@ func TestJobTimeout(t *testing.T) {
 	if resp2.StatusCode != http.StatusAccepted || view2.ID != view.ID {
 		t.Fatalf("retry submit: HTTP %d id %s, want 202 with id %s",
 			resp2.StatusCode, view2.ID, view.ID)
+	}
+}
+
+// scrapeMetric fetches /metrics and returns the value of the series
+// with the given name (including any label body), or -1 if absent.
+func scrapeMetric(t *testing.T, ts *httptest.Server, series string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q, want text/plain exposition", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || name != series {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			t.Fatalf("series %s has unparseable value %q", series, val)
+		}
+		return f
+	}
+	return -1
+}
+
+// TestMetricsEndpoint checks that /metrics serves Prometheus text
+// format and that a cache miss → hit sequence moves the server's
+// result-cache counters exactly.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4,
+		Run: func(ctx context.Context, spec JobSpec) (JobResult, error) {
+			return JobResult{Mix: "fake", WS: 1}, nil
+		}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The queue/worker/trace-pool families are present before any job.
+	for _, series := range []string{
+		"mama_server_queue_depth",
+		"mama_server_workers",
+		"mama_server_result_cache_entries",
+		"mama_trace_pool_entries",
+		"mama_trace_pool_used_bytes",
+	} {
+		if v := scrapeMetric(t, ts, series); v < 0 {
+			t.Errorf("series %s missing from /metrics", series)
+		}
+	}
+	if v := scrapeMetric(t, ts, "mama_server_result_cache_misses_total"); v != 0 {
+		t.Fatalf("cache misses before any job = %v, want 0", v)
+	}
+
+	// First submission: a miss that runs to completion.
+	resp, view := postJob(t, ts, fakeSpec(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	waitDone(t, ts, view.ID, 10*time.Second)
+	if v := scrapeMetric(t, ts, "mama_server_result_cache_misses_total"); v != 1 {
+		t.Errorf("cache misses after first job = %v, want 1", v)
+	}
+	if v := scrapeMetric(t, ts, "mama_server_result_cache_hits_total"); v != 0 {
+		t.Errorf("cache hits after first job = %v, want 0", v)
+	}
+	if v := scrapeMetric(t, ts, "mama_server_jobs_completed_total"); v != 1 {
+		t.Errorf("jobs completed = %v, want 1", v)
+	}
+	if v := scrapeMetric(t, ts, "mama_server_result_cache_entries"); v != 1 {
+		t.Errorf("result cache entries = %v, want 1", v)
+	}
+	if v := scrapeMetric(t, ts, `mama_server_job_run_seconds_count`); v != 1 {
+		t.Errorf("run-latency histogram count = %v, want 1", v)
+	}
+
+	// Identical resubmission: served from the cache, hits move, misses
+	// and completions do not.
+	resp2, _ := postJob(t, ts, fakeSpec(1))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: HTTP %d, want 200 (cache hit)", resp2.StatusCode)
+	}
+	if v := scrapeMetric(t, ts, "mama_server_result_cache_hits_total"); v != 1 {
+		t.Errorf("cache hits after resubmit = %v, want 1", v)
+	}
+	if v := scrapeMetric(t, ts, "mama_server_result_cache_misses_total"); v != 1 {
+		t.Errorf("cache misses after resubmit = %v, want 1", v)
+	}
+	if v := scrapeMetric(t, ts, "mama_server_jobs_completed_total"); v != 1 {
+		t.Errorf("jobs completed after resubmit = %v, want 1", v)
+	}
+	if v := scrapeMetric(t, ts, "mama_server_jobs_submitted_total"); v != 2 {
+		t.Errorf("jobs submitted = %v, want 2", v)
 	}
 }
 

@@ -118,8 +118,15 @@ const ctxCheckEpochs = 256
 // that need a hard per-job bound (the mamaserved worker pool) combine
 // this with context.WithTimeout.
 func (s *System) RunContext(ctx context.Context, target uint64, maxCycles uint64) (Result, error) {
+	simRunsTotal.Inc()
+	simRunsActive.Add(1)
+	defer simRunsActive.Add(-1)
 	epochEnd := s.cfg.Epoch
 	epochs := uint64(0)
+	// Telemetry publication rides the existing context-poll cadence: a
+	// handful of atomic adds every ctxCheckEpochs epochs, nothing inside
+	// Core.advance itself.
+	var pubInstr, pubEpochs uint64
 	for s.frozen < len(s.cores) {
 		for _, c := range s.cores {
 			c.advance(epochEnd, target)
@@ -130,7 +137,9 @@ func (s *System) RunContext(ctx context.Context, target uint64, maxCycles uint64
 			s.sampleBandwidth(epochEnd)
 		}
 		if epochs%ctxCheckEpochs == 0 {
+			pubInstr, pubEpochs = s.publishProgress(pubInstr, pubEpochs, epochs)
 			if err := ctx.Err(); err != nil {
+				s.finishRunTelemetry()
 				return s.Result(target), err
 			}
 		}
@@ -138,6 +147,8 @@ func (s *System) RunContext(ctx context.Context, target uint64, maxCycles uint64
 			break
 		}
 	}
+	s.publishProgress(pubInstr, pubEpochs, epochs)
+	s.finishRunTelemetry()
 	return s.Result(target), nil
 }
 

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind discriminates the instrument behind one registered series.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k kind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// series is one registered (name, labels) pair and its instrument.
+type series struct {
+	name      string
+	labelBody string // rendered `k="v",k2="v2"` without braces; "" when unlabeled
+	help      string
+	kind      kind
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	cf func() uint64
+	gf func() float64
+}
+
+// Registry is a set of named instruments that can be scraped as
+// Prometheus text format. Registration is idempotent (same name +
+// labels returns the existing instrument); a re-registration that
+// changes the instrument kind panics, since that is always a
+// programming error.
+type Registry struct {
+	mu    sync.RWMutex
+	byKey map[string]*series
+	order []*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*series)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Long-lived subsystems
+// without a natural owner (the sim loop, the shared trace pool, the
+// experiment caches) register here; servers own their own registry and
+// expose both.
+func Default() *Registry { return defaultRegistry }
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register returns the existing series for key or installs a fresh one
+// built by mk.
+func (r *Registry) register(name, help string, k kind, labels []Label, mk func() *series) *series {
+	body := renderLabels(labels)
+	key := name + "\xff" + body
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byKey[key]; ok {
+		if s.kind != k {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)",
+				name, k.promType(), s.kind.promType()))
+		}
+		return s
+	}
+	s := mk()
+	s.name, s.labelBody, s.help, s.kind = name, body, help, k
+	r.byKey[key] = s
+	r.order = append(r.order, s)
+	return s
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, labels, func() *series {
+		return &series{c: &Counter{}}
+	})
+	return s.c
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, labels, func() *series {
+		return &series{g: &Gauge{}}
+	})
+	return s.g
+}
+
+// Histogram registers (or returns the existing) histogram series with
+// the given upper bucket bounds (an implicit +Inf bucket is appended).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.register(name, help, kindHistogram, labels, func() *series {
+		return &series{h: newHistogram(bounds)}
+	})
+	return s.h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time (for monotonic values a subsystem already tracks itself).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.register(name, help, kindCounterFunc, labels, func() *series {
+		return &series{cf: fn}
+	})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time (queue depths, pool occupancy, and similar sampled state).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGaugeFunc, labels, func() *series {
+		return &series{gf: fn}
+	})
+}
+
+// snapshot returns the registered series sorted by (name, labels), so
+// exposition groups each family contiguously.
+func (r *Registry) snapshot() []*series {
+	r.mu.RLock()
+	out := make([]*series, len(r.order))
+	copy(out, r.order)
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labelBody < out[j].labelBody
+	})
+	return out
+}
+
+// WritePrometheus writes every registered series in Prometheus text
+// exposition format (version 0.0.4). Values are read live; writers are
+// never blocked.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	prevFamily := ""
+	for _, s := range r.snapshot() {
+		if s.name != prevFamily {
+			fmt.Fprintf(bw, "# HELP %s %s\n", s.name, s.help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.name, s.kind.promType())
+			prevFamily = s.name
+		}
+		switch s.kind {
+		case kindCounter:
+			writeSample(bw, s.name, s.labelBody, "", formatUint(s.c.Value()))
+		case kindCounterFunc:
+			writeSample(bw, s.name, s.labelBody, "", formatUint(s.cf()))
+		case kindGauge:
+			writeSample(bw, s.name, s.labelBody, "", formatFloat(s.g.Value()))
+		case kindGaugeFunc:
+			writeSample(bw, s.name, s.labelBody, "", formatFloat(s.gf()))
+		case kindHistogram:
+			writeHistogram(bw, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line. extraLabel is an
+// already-rendered label pair (histogram `le`) appended after the
+// series labels.
+func writeSample(w *bufio.Writer, name, labelBody, extraLabel, value string) {
+	w.WriteString(name)
+	if labelBody != "" || extraLabel != "" {
+		w.WriteByte('{')
+		w.WriteString(labelBody)
+		if labelBody != "" && extraLabel != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extraLabel)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func writeHistogram(w *bufio.Writer, s *series) {
+	h := s.h
+	// Cumulative bucket counts, per the exposition format. The counts
+	// are read bucket-by-bucket while writers may be observing, so the
+	// total can trail the per-bucket sum by in-flight samples; that
+	// skew is inherent to lock-free scraping and irrelevant to rates.
+	cum := uint64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		writeSample(w, s.name+"_bucket", s.labelBody, `le="`+le+`"`, formatUint(cum))
+	}
+	writeSample(w, s.name+"_sum", s.labelBody, "", formatFloat(h.Sum()))
+	writeSample(w, s.name+"_count", s.labelBody, "", formatUint(h.Count()))
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an HTTP handler serving the given registries (in
+// order) as one Prometheus text-format page. With no arguments it
+// serves the Default registry.
+func Handler(regs ...*Registry) http.Handler {
+	if len(regs) == 0 {
+		regs = []*Registry{Default()}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			_ = r.WritePrometheus(w)
+		}
+	})
+}
+
+// DumpToFile writes the registries' metrics to path ("-" for stdout).
+// It backs the -metrics-dump flag on the batch binaries.
+func DumpToFile(path string, regs ...*Registry) error {
+	if len(regs) == 0 {
+		regs = []*Registry{Default()}
+	}
+	var sb strings.Builder
+	for _, r := range regs {
+		if err := r.WritePrometheus(&sb); err != nil {
+			return err
+		}
+	}
+	if path == "-" {
+		_, err := io.WriteString(os.Stdout, sb.String())
+		return err
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -1,0 +1,126 @@
+// Package telemetry is the repo's runtime-metrics substrate: a
+// dependency-free registry of atomic counters, gauges, and fixed-bucket
+// histograms with Prometheus text-format exposition.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path writes are a single atomic RMW (~ns scale, zero
+//     allocations), so instruments are safe inside Core.advance epoch
+//     boundaries and the trace-pool read path.
+//  2. Registration is idempotent: asking for an existing (name, labels)
+//     pair returns the same instrument, so independent subsystems (and
+//     repeated test servers) can declare their metrics without
+//     coordinating init order.
+//  3. Exposition never blocks writers: scraping reads atomics while
+//     writers keep updating them.
+//
+// Metric naming follows the Prometheus conventions used across the
+// repo: mama_<subsystem>_<noun>[_<unit>][_total], e.g.
+// mama_server_jobs_submitted_total or mama_trace_pool_used_bytes.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Label is one constant key="value" pair attached to an instrument at
+// registration time.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing value. The zero value is ready
+// to use; counters obtained from a Registry are also exported at scrape
+// time.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move in both directions.
+// The zero value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (may be negative) with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram (cumulative at exposition, like
+// Prometheus). Bucket bounds are set at registration and never change;
+// Observe is one bounds scan plus three atomic RMWs.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; implicit +Inf bucket at the end
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DurationBuckets is a general-purpose latency bucket ladder in
+// seconds: 1ms to 10m, roughly 2.5x apart. Suitable for both queue
+// waits and simulation runtimes.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 150, 600,
+}

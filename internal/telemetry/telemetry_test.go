@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_counter_total", "test counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+
+	g := r.Gauge("t_gauge", "test gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_hist", "test histogram", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-556.5) > 1e-9 {
+		t.Errorf("sum = %g, want 556.5", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// 0.5 and 1 land in le="1" (bounds are inclusive); cumulative counts
+	// follow.
+	for _, want := range []string{
+		`t_hist_bucket{le="1"} 2`,
+		`t_hist_bucket{le="10"} 3`,
+		`t_hist_bucket{le="100"} 4`,
+		`t_hist_bucket{le="+Inf"} 5`,
+		`t_hist_sum 556.5`,
+		`t_hist_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram("t_bad", "", []float64{1, 1})
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("t_twice_total", "help", L("core", "0"))
+	b := r.Counter("t_twice_total", "help", L("core", "0"))
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("t_twice_total", "help", L("core", "1"))
+	if a == other {
+		t.Error("distinct labels returned the same counter")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_kind", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("t_kind", "help")
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_fam_total", "a family", L("kind", "b")).Add(2)
+	r.Counter("t_fam_total", "a family", L("kind", "a")).Add(1)
+	r.GaugeFunc("t_depth", "sampled depth", func() float64 { return 7 })
+	r.CounterFunc("t_seen_total", "sampled monotonic", func() uint64 { return 9 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if strings.Count(out, "# HELP t_fam_total") != 1 {
+		t.Errorf("HELP emitted more than once per family:\n%s", out)
+	}
+	// Series are sorted within a family regardless of registration order.
+	ia := strings.Index(out, `t_fam_total{kind="a"} 1`)
+	ib := strings.Index(out, `t_fam_total{kind="b"} 2`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("family series missing or unsorted (a=%d b=%d):\n%s", ia, ib, out)
+	}
+	for _, want := range []string{
+		"# TYPE t_fam_total counter",
+		"# TYPE t_depth gauge",
+		"t_depth 7",
+		"# TYPE t_seen_total counter",
+		"t_seen_total 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_esc_total", "h", L("path", `a"b\c`+"\n")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if want := `t_esc_total{path="a\"b\\c\n"} 1`; !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, sb.String())
+	}
+}
+
+// TestConcurrentWritersAndScrapes is the registry's -race gate: many
+// goroutines hammer every instrument kind while scrapes run
+// concurrently, then a final scrape must observe the exact totals.
+func TestConcurrentWritersAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_conc_total", "c")
+	g := r.Gauge("t_conc_gauge", "g")
+	h := r.Histogram("t_conc_hist", "h", []float64{0.5, 2})
+
+	const writers = 8
+	const perWriter = 10_000
+	var writeWG, scrapeWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Concurrent scrapers (and concurrent registration of new series).
+	for i := 0; i < 4; i++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Counter("t_conc_extra_total", "late registration")
+			}
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		writeWG.Add(1)
+		go func() {
+			defer writeWG.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j%3) + 0.25)
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Value(); got != writers*perWriter {
+		t.Errorf("gauge = %g, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Error("empty context yielded a request ID")
+	}
+	id := NewRequestID("abcdef0123456789")
+	if !strings.HasPrefix(id, "r") || !strings.Contains(id, "abcdef01") {
+		t.Errorf("unexpected request ID %q", id)
+	}
+	if strings.Contains(id, "0123456789") {
+		t.Errorf("hint not truncated in %q", id)
+	}
+	ctx = WithRequestID(ctx, id)
+	if got := RequestID(ctx); got != id {
+		t.Errorf("RequestID = %q, want %q", got, id)
+	}
+	if next := NewRequestID(""); next == id || !strings.HasPrefix(next, "r") {
+		t.Errorf("request IDs not unique: %q then %q", id, next)
+	}
+}

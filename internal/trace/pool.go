@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"micromama/internal/telemetry"
 )
 
 // Pool is a process-wide, content-addressed cache of materialized
@@ -33,7 +35,10 @@ type Pool struct {
 	used    int64
 	entries map[string]*sharedTrace
 
-	fallbacks atomic.Uint64 // Shared calls answered with a streaming reader
+	fallbacks        atomic.Uint64 // Shared calls answered with a streaming reader
+	hits             atomic.Uint64 // Shared calls served by an existing entry
+	materializations atomic.Uint64 // Shared calls that created a new entry
+	tailStreams      atomic.Uint64 // readers that degraded to streaming past a capped slab
 }
 
 // PoolStats snapshots a Pool for monitoring and tests.
@@ -43,6 +48,13 @@ type PoolStats struct {
 	// Fallbacks counts Shared calls that returned a plain streaming
 	// reader because the store budget was exhausted.
 	Fallbacks uint64
+	// Hits counts Shared calls served by an already-registered entry;
+	// Materializations counts calls that registered a new one.
+	Hits             uint64
+	Materializations uint64
+	// TailStreams counts readers that crossed a capped slab frontier
+	// and degraded (bit-identically) to streaming the tail.
+	TailStreams uint64
 }
 
 // extendChunk is how many instructions one slab extension generates:
@@ -85,6 +97,7 @@ func DefaultPool() *Pool {
 			}
 		}
 		defaultPool = NewPool(mb<<20, 0)
+		defaultPool.RegisterMetrics(telemetry.Default())
 	})
 	return defaultPool
 }
@@ -93,7 +106,45 @@ func DefaultPool() *Pool {
 func (s *Pool) Stats() PoolStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return PoolStats{Entries: len(s.entries), UsedBytes: s.used, Fallbacks: s.fallbacks.Load()}
+	return PoolStats{
+		Entries:          len(s.entries),
+		UsedBytes:        s.used,
+		Fallbacks:        s.fallbacks.Load(),
+		Hits:             s.hits.Load(),
+		Materializations: s.materializations.Load(),
+		TailStreams:      s.tailStreams.Load(),
+	}
+}
+
+// RegisterMetrics exports the pool's counters and occupancy to a
+// telemetry registry under the mama_trace_pool_* family. Safe to call
+// more than once for the same pool (registration is idempotent); the
+// default pool registers itself on the default registry.
+func (s *Pool) RegisterMetrics(r *telemetry.Registry) {
+	r.CounterFunc("mama_trace_pool_hits_total",
+		"Shared-trace requests served by an existing materialized entry.",
+		s.hits.Load)
+	r.CounterFunc("mama_trace_pool_materializations_total",
+		"Shared-trace requests that registered a new materialized entry.",
+		s.materializations.Load)
+	r.CounterFunc("mama_trace_pool_fallbacks_total",
+		"Shared-trace requests answered with a plain streaming reader (store budget exhausted).",
+		s.fallbacks.Load)
+	r.CounterFunc("mama_trace_pool_tail_streams_total",
+		"Readers that crossed a capped slab frontier and degraded to streaming the tail.",
+		s.tailStreams.Load)
+	r.GaugeFunc("mama_trace_pool_entries",
+		"Materialized traces resident in the pool.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.entries)) })
+	r.GaugeFunc("mama_trace_pool_used_bytes",
+		"Bytes of materialized trace slabs currently held.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.used) })
+	r.GaugeFunc("mama_trace_pool_budget_bytes",
+		"Total byte budget for materialized traces (MAMA_TRACE_BUDGET_MB).",
+		func() float64 { return float64(s.total) })
+	r.GaugeFunc("mama_trace_pool_per_trace_budget_bytes",
+		"Per-trace byte cap within the pool budget.",
+		func() float64 { return float64(s.per) })
 }
 
 // Shared returns a reader replaying the trace identified by key,
@@ -115,6 +166,9 @@ func (s *Pool) Shared(key string, factory func() Reader) Reader {
 		e = &sharedTrace{store: s, name: gen.Name(), factory: factory, gen: gen}
 		e.snap.Store(&traceSnap{})
 		s.entries[key] = e
+		s.materializations.Add(1)
+	} else {
+		s.hits.Add(1)
 	}
 	s.mu.Unlock()
 	return e.newReader()
@@ -226,6 +280,7 @@ func (e *sharedTrace) takeTail() Reader {
 // tailReader returns a streaming reader positioned at instruction pos
 // of the trace (pos is always the slab frontier when called).
 func (e *sharedTrace) tailReader(pos int) Reader {
+	e.store.tailStreams.Add(1)
 	if g := e.takeTail(); g != nil {
 		return g
 	}

@@ -8,11 +8,15 @@
 //	go run ./scripts/benchdiff bench.out               # compare a saved run
 //	go run ./scripts/benchdiff -update bench.out       # rewrite the baseline
 //	go run ./scripts/benchdiff -tol 0.15 bench.out     # fail on >15% regression
+//	go run ./scripts/benchdiff -tol 0.01 -gate allocs/op bench.out
 //
 // The baseline (BENCH_baseline.json by default) maps fully-qualified
 // benchmark names to their metrics. With -tol > 0, the command exits
-// non-zero when ns/op or allocs/op regresses by more than the given
-// fraction — the `make bench` regression gate.
+// non-zero when a gated metric regresses by more than the given
+// fraction — the `make bench` regression gate. -gate selects which
+// metrics fail the run (default "ns/op,allocs/op"); CI's bench-smoke
+// job gates allocs/op alone, which is deterministic even at
+// -benchtime=1x on noisy runners, while ns/op stays report-only there.
 package main
 
 import (
@@ -39,8 +43,16 @@ type baselineFile struct {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
 	update := flag.Bool("update", false, "write the parsed run to the baseline instead of comparing")
-	tol := flag.Float64("tol", 0, "fail when ns/op or allocs/op regresses by more than this fraction (0 = report only)")
+	tol := flag.Float64("tol", 0, "fail when a gated metric regresses by more than this fraction (0 = report only)")
+	gate := flag.String("gate", "ns/op,allocs/op", "comma-separated metrics that can fail the run")
 	flag.Parse()
+
+	gated := map[string]bool{}
+	for _, u := range strings.Split(*gate, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			gated[u] = true
+		}
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
@@ -85,7 +97,7 @@ func main() {
 		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
 	}
 
-	regressed := compare(os.Stdout, base.Benchmarks, run, *tol)
+	regressed := compare(os.Stdout, base.Benchmarks, run, *tol, gated)
 	if *tol > 0 && regressed {
 		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% tolerance\n", *tol*100)
 		os.Exit(1)
@@ -166,8 +178,8 @@ func lowerIsBetter(unit string) bool {
 }
 
 // compare prints old vs new per benchmark metric and reports whether any
-// gated metric (ns/op, allocs/op) regressed beyond tol.
-func compare(w io.Writer, base, run map[string]sample, tol float64) (regressed bool) {
+// gated metric regressed beyond tol.
+func compare(w io.Writer, base, run map[string]sample, tol float64, gated map[string]bool) (regressed bool) {
 	names := make([]string, 0, len(run))
 	for name := range run {
 		names = append(names, name)
@@ -197,13 +209,13 @@ func compare(w io.Writer, base, run map[string]sample, tol float64) (regressed b
 			if ov != 0 {
 				d := (nv - ov) / ov
 				delta = fmt.Sprintf("%+.1f%%", d*100)
-				if tol > 0 && lowerIsBetter(unit) && (unit == "ns/op" || unit == "allocs/op") && d > tol {
+				if tol > 0 && lowerIsBetter(unit) && gated[unit] && d > tol {
 					delta += " !"
 					regressed = true
 				}
 			} else if nv != 0 {
 				delta = "+inf"
-				if tol > 0 && unit == "allocs/op" {
+				if tol > 0 && unit == "allocs/op" && gated[unit] {
 					// Any allocation where the baseline had none is a
 					// regression of the allocation-free invariant.
 					delta += " !"
