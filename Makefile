@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race check bench bench-smoke bench-baseline bench-paper figures examples clean
+.PHONY: all build vet fmt fmt-check test race chaos check bench bench-smoke bench-baseline bench-paper figures examples clean
 
 all: check
 
@@ -28,11 +28,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Chaos suite: the serving-stack resilience tests (panic isolation,
+# graceful drain, crash-safe cache persistence, client retries) under
+# the race detector with fault injection activated through the
+# environment. The seeded slow-job fault stretches every 5th run to
+# shake out drain/timeout races; counter- and PRNG-based rules are
+# deterministic, so a red run reproduces exactly from the same seed.
+chaos:
+	MAMA_FAULTS="server/worker/slow=every:5" MAMA_FAULTS_SEED=7 \
+		$(GO) test -race -count=1 ./internal/faultinject ./internal/server ./internal/client
+
 # The default gate: compile everything, vet, check formatting, run the
-# test suite, re-run it under the race detector, then make sure the
-# hot-path benchmarks still run and stay allocation-free (1 iteration;
-# catches bit-rot and alloc regressions, not timing regressions).
-check: build vet fmt-check test race bench-smoke
+# test suite, re-run it under the race detector, run the chaos suite
+# with fault injection enabled, then make sure the hot-path benchmarks
+# still run and stay allocation-free (1 iteration; catches bit-rot and
+# alloc regressions, not timing regressions).
+check: build vet fmt-check test race chaos bench-smoke
 
 # Hot-path benchmark suite: cache/MSHR microbenchmarks, the per-core
 # advance benchmarks, and end-to-end simulator throughput, compared

@@ -2,28 +2,45 @@
 //
 // Usage:
 //
-//	mamactl [-addr host:port] submit -mix t1,t2 -controller mumama [-scale tiny]
-//	        [-seed N] [-target N] [-step N] [-timeout 30s] [-wait]
+//	mamactl [-addr host:port] [-timeout 30s] [-retries 4] [-deadline 1h]
+//	        submit -mix t1,t2 -controller mumama [-scale tiny]
+//	        [-seed N] [-target N] [-step N] [-job-timeout 30s] [-wait]
 //	mamactl status <job-id>
 //	mamactl result <job-id>
 //	mamactl wait <job-id>
 //	mamactl stats
 //	mamactl catalog
+//
+// Every request runs on one shared http.Client with an explicit
+// timeout, retries transient failures (connection errors, 429, 5xx)
+// with exponential backoff honoring Retry-After, and is cancellable
+// with SIGINT/SIGTERM (polling waits exit promptly). Retrying a submit
+// is safe: jobs are content-addressed, so a resubmission lands on the
+// same job instead of running a second simulation.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
+
+	"micromama/internal/client"
 )
 
-var addr = flag.String("addr", "http://localhost:8077", "mamaserved base URL")
+var (
+	addr     = flag.String("addr", "http://localhost:8077", "mamaserved base URL")
+	timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	retries  = flag.Int("retries", 4, "max retries on transient failures (429/5xx/connection errors)")
+	deadline = flag.Duration("deadline", time.Hour, "overall deadline for the whole invocation (0 = none); bounds polling waits")
+)
 
 func main() {
 	flag.Parse()
@@ -31,37 +48,52 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
+
+	// One signal-cancelled context threads through every subcommand, so
+	// ^C interrupts an in-flight request or a polling wait immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	c := client.New(*addr, client.Options{Timeout: *timeout, MaxRetries: *retries})
+
 	var err error
 	switch args[0] {
 	case "submit":
-		err = cmdSubmit(args[1:])
+		err = cmdSubmit(ctx, c, args[1:])
 	case "status":
-		err = cmdGet(args[1:], "/v1/jobs/%s")
+		err = cmdGet(ctx, c, args[1:], "/v1/jobs/%s")
 	case "result":
-		err = cmdGet(args[1:], "/v1/jobs/%s/result")
+		err = cmdGet(ctx, c, args[1:], "/v1/jobs/%s/result")
 	case "wait":
-		err = cmdWait(args[1:])
+		err = cmdWait(ctx, c, args[1:])
 	case "stats":
-		err = getJSON("/v1/stats", os.Stdout)
+		err = getJSON(ctx, c, "/v1/stats")
 	case "catalog":
-		err = getJSON("/v1/catalog", os.Stdout)
+		err = getJSON(ctx, c, "/v1/catalog")
 	default:
 		usage()
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mamactl: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "mamactl:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mamactl [-addr url] submit|status|result|wait|stats|catalog ...")
+	fmt.Fprintln(os.Stderr, "usage: mamactl [-addr url] [-timeout d] [-retries n] [-deadline d] submit|status|result|wait|stats|catalog ...")
 	os.Exit(2)
 }
 
-func base() string { return strings.TrimRight(*addr, "/") }
-
-func cmdSubmit(args []string) error {
+func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	var (
 		mix        = fs.String("mix", "", "comma-separated trace names, one per core")
@@ -70,7 +102,7 @@ func cmdSubmit(args []string) error {
 		seed       = fs.Uint64("seed", 0, "mix label / cache namespace")
 		target     = fs.Uint64("target", 0, "instruction target override")
 		step       = fs.Uint64("step", 0, "agent timestep override")
-		timeout    = fs.Duration("timeout", 0, "per-job timeout")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-job timeout enforced by the server")
 		wait       = fs.Bool("wait", false, "poll until the job finishes and print the result")
 	)
 	fs.Parse(args)
@@ -93,93 +125,71 @@ func cmdSubmit(args []string) error {
 	if *step != 0 {
 		spec["step"] = *step
 	}
-	if *timeout != 0 {
-		spec["timeout_ms"] = timeout.Milliseconds()
+	if *jobTimeout != 0 {
+		spec["timeout_ms"] = jobTimeout.Milliseconds()
 	}
 	body, _ := json.Marshal(spec)
-	resp, err := http.Post(base()+"/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := c.Post(ctx, "/v1/jobs", body)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode >= 400 {
-		return fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	if resp.Status >= 400 {
+		return fmt.Errorf("submit: HTTP %d: %s", resp.Status, strings.TrimSpace(string(resp.Body)))
 	}
 	var view struct {
 		ID     string `json:"id"`
 		Status string `json:"status"`
 	}
-	if err := json.Unmarshal(raw, &view); err != nil {
+	if err := json.Unmarshal(resp.Body, &view); err != nil {
 		return err
 	}
 	if !*wait {
 		fmt.Printf("%s\t%s\n", view.ID, view.Status)
 		return nil
 	}
-	return waitFor(view.ID)
+	return waitFor(ctx, c, view.ID)
 }
 
-func cmdGet(args []string, pathFmt string) error {
+func cmdGet(ctx context.Context, c *client.Client, args []string, pathFmt string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("expected exactly one job id")
 	}
-	return getJSON(fmt.Sprintf(pathFmt, args[0]), os.Stdout)
+	return getJSON(ctx, c, fmt.Sprintf(pathFmt, args[0]))
 }
 
-func cmdWait(args []string) error {
+func cmdWait(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("wait: expected exactly one job id")
 	}
-	return waitFor(args[0])
+	return waitFor(ctx, c, args[0])
 }
 
 // waitFor polls the result endpoint until the job leaves
 // queued/running, then prints the final body; a failed job exits 1.
-func waitFor(id string) error {
-	for {
-		resp, err := http.Get(base() + "/v1/jobs/" + id + "/result")
-		if err != nil {
-			return err
-		}
-		raw, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusAccepted {
-			time.Sleep(200 * time.Millisecond)
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("wait: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
-		}
-		var out bytes.Buffer
-		_ = json.Indent(&out, raw, "", "  ")
-		fmt.Println(out.String())
-		var view struct {
-			Status string `json:"status"`
-			Error  string `json:"error"`
-		}
-		_ = json.Unmarshal(raw, &view)
-		if view.Status == "failed" {
-			return fmt.Errorf("job failed: %s", view.Error)
-		}
-		return nil
+func waitFor(ctx context.Context, c *client.Client, id string) error {
+	resp, err := c.WaitJob(ctx, id, 200*time.Millisecond)
+	if resp != nil {
+		printJSON(resp.Body)
 	}
+	return err
 }
 
-func getJSON(path string, w io.Writer) error {
-	resp, err := http.Get(base() + path)
+func getJSON(ctx context.Context, c *client.Client, path string) error {
+	resp, err := c.Get(ctx, path)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode >= 400 {
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	if resp.Status >= 400 {
+		return fmt.Errorf("HTTP %d: %s", resp.Status, strings.TrimSpace(string(resp.Body)))
 	}
+	printJSON(resp.Body)
+	return nil
+}
+
+func printJSON(raw []byte) {
 	var out bytes.Buffer
 	if err := json.Indent(&out, raw, "", "  "); err != nil {
 		out.Write(raw)
 	}
-	fmt.Fprintln(w, out.String())
-	return nil
+	fmt.Println(out.String())
 }

@@ -14,8 +14,15 @@
 //	GET  /v1/stats               service counters
 //	GET  /v1/catalog             traces, controllers, scales
 //	GET  /metrics                Prometheus text-format telemetry
-//	GET  /healthz                liveness
+//	GET  /healthz                liveness (200 while the process is up, even draining)
+//	GET  /readyz                 readiness (503 while draining or queue-saturated)
 //	GET  /debug/pprof/           live profiling (net/http/pprof)
+//
+// On SIGTERM/SIGINT the server drains gracefully: new submissions are
+// refused with 503 + Retry-After, in-flight and queued jobs finish (up
+// to -drain-timeout, then they are cancelled), and with -cache-dir the
+// result cache is flushed so a restarted process serves previously
+// completed specs as cache hits.
 package main
 
 import (
@@ -43,6 +50,8 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "upper bound on client-requested timeouts")
 		maxCores   = flag.Int("max-cores", 16, "largest mix a job may request")
 		traceCache = flag.String("trace-cache", "", "directory of MMT1 trace files (from tracegen) preloaded into the shared trace pool; cached traces loop at their recorded length")
+		cacheDir   = flag.String("cache-dir", "", "directory for crash-safe result-cache persistence (restored on startup; corrupt entries quarantined)")
+		drainT     = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs before cancelling them")
 		logLevel   = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
 		logFormat  = flag.String("log-format", "text", "structured-log format: text|json")
 	)
@@ -58,14 +67,19 @@ func main() {
 		logger.Info("trace cache preloaded", "traces", n, "dir", *traceCache)
 	}
 
-	svc := server.New(server.Config{
+	svc, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxCores:       *maxCores,
+		CacheDir:       *cacheDir,
 		Logger:         logger,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mamaserved:", err)
+		os.Exit(1)
+	}
 	defer svc.Close()
 
 	httpSrv := &http.Server{
@@ -78,6 +92,17 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		// Graceful drain: the service stops intake first (submits get
+		// 503 + Retry-After while /healthz stays 200 and results remain
+		// readable), finishes admitted jobs up to -drain-timeout, and
+		// flushes the persistent cache; only then does the HTTP listener
+		// shut down.
+		logger.Info("signal received; draining", "timeout", *drainT)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+		if err := svc.Shutdown(drainCtx); err != nil {
+			logger.Warn("drain ended early", "err", err)
+		}
+		cancel()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)

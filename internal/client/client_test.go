@@ -1,0 +1,214 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestClient wires a client to ts with recorded (not slept) backoff.
+func newTestClient(ts *httptest.Server, opts Options) (*Client, *[]time.Duration) {
+	c := New(ts.URL, opts)
+	var mu sync.Mutex
+	slept := &[]time.Duration{}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		mu.Lock()
+		*slept = append(*slept, d)
+		mu.Unlock()
+		return ctx.Err()
+	}
+	return c, slept
+}
+
+// TestRetriesTransient5xx checks that 500s are retried until success
+// and the final response is returned.
+func TestRetriesTransient5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "injected", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	c, slept := newTestClient(ts, Options{})
+	resp, err := c.Get(context.Background(), "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.Status)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 failures + success)", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(*slept))
+	}
+	// Exponential shape: the second backoff window starts at 2x the
+	// first one's base (jitter keeps exact values variable, but the
+	// floor doubles: d/2 where d = BaseDelay<<n).
+	if (*slept)[0] < 100*time.Millisecond || (*slept)[1] < 200*time.Millisecond {
+		t.Errorf("backoff floors wrong: %v", *slept)
+	}
+}
+
+// TestHonorsRetryAfter checks that a server-provided Retry-After
+// replaces the exponential schedule.
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c, slept := newTestClient(ts, Options{MaxDelay: 10 * time.Second})
+	if _, err := c.Post(context.Background(), "/v1/jobs", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 2*time.Second {
+		t.Fatalf("slept %v, want exactly the server's 2s Retry-After", *slept)
+	}
+}
+
+// TestConnectionErrorRetries checks that a dead server is retried and
+// the terminal error reports the attempt count.
+func TestConnectionErrorRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // refuse all connections
+
+	c, slept := newTestClient(ts, Options{MaxRetries: 2})
+	_, err := c.Get(context.Background(), "/healthz")
+	if err == nil {
+		t.Fatal("expected an error from a closed server")
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2 (MaxRetries)", len(*slept))
+	}
+}
+
+// TestNoRetryOn4xx checks that client errors are terminal immediately.
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad spec", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c, slept := newTestClient(ts, Options{})
+	resp, err := c.Post(context.Background(), "/v1/jobs", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusBadRequest || calls.Load() != 1 || len(*slept) != 0 {
+		t.Fatalf("400 was retried: %d calls, %d sleeps", calls.Load(), len(*slept))
+	}
+}
+
+// TestExhaustedRetriesReturnLastResponse checks that a persistently
+// retryable status comes back as a response, not an error, after the
+// budget is spent.
+func TestExhaustedRetriesReturnLastResponse(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c, _ := newTestClient(ts, Options{MaxRetries: 1})
+	resp, err := c.Get(context.Background(), "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want the final 503", resp.Status)
+	}
+}
+
+// TestContextCancelStopsRetries checks a cancelled context aborts the
+// retry loop with ctx.Err().
+func TestContextCancelStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ts.URL, Options{})
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel() // cancel mid-backoff
+		return ctx.Err()
+	}
+	if _, err := c.Get(ctx, "/v1/stats"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWaitJob checks polling: 202 → sleep → 200 done, and failed jobs
+// return ErrJobFailed with the body preserved.
+func TestWaitJob(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"status":"running"}`))
+			return
+		}
+		w.Write([]byte(`{"status":"done","result":{"ws":1.5}}`))
+	}))
+	defer ts.Close()
+
+	c, slept := newTestClient(ts, Options{})
+	resp, err := c.WaitJob(context.Background(), "jabc", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK || len(*slept) != 2 {
+		t.Fatalf("status %d after %d sleeps", resp.Status, len(*slept))
+	}
+
+	fail := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"failed","error":"boom"}`))
+	}))
+	defer fail.Close()
+	cf, _ := newTestClient(fail, Options{})
+	resp, err = cf.WaitJob(context.Background(), "jdef", time.Millisecond)
+	if !errors.Is(err, ErrJobFailed) {
+		t.Fatalf("err = %v, want ErrJobFailed", err)
+	}
+	if resp == nil || resp.Status != http.StatusOK {
+		t.Fatalf("failed wait should still carry the final body: %+v", resp)
+	}
+}
+
+// TestRetryAfterParsing covers the header's two formats.
+func TestRetryAfterParsing(t *testing.T) {
+	h := http.Header{}
+	if _, ok := retryAfter(h); ok {
+		t.Error("absent header parsed")
+	}
+	h.Set("Retry-After", "3")
+	if d, ok := retryAfter(h); !ok || d != 3*time.Second {
+		t.Errorf("delta-seconds: %v %v", d, ok)
+	}
+	h.Set("Retry-After", time.Now().Add(90*time.Second).UTC().Format(http.TimeFormat))
+	if d, ok := retryAfter(h); !ok || d < 80*time.Second || d > 91*time.Second {
+		t.Errorf("http-date: %v %v", d, ok)
+	}
+	h.Set("Retry-After", "garbage")
+	if _, ok := retryAfter(h); ok {
+		t.Error("garbage parsed")
+	}
+}

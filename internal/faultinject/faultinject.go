@@ -1,0 +1,264 @@
+// Package faultinject provides named, deterministic fault-injection
+// sites for chaos testing the serving stack. Production code registers
+// a Site per failure it can simulate (a worker panic, a slow job, a
+// cache write error); tests and operators arm sites either through the
+// MAMA_FAULTS environment variable or through the Enable test hook.
+//
+// Design constraints:
+//
+//  1. Disarmed sites cost one atomic load per evaluation, so sites can
+//     sit on request paths permanently.
+//  2. Firing is deterministic: rules are counter-based (once, first:N,
+//     every:N) or driven by a per-site PRNG seeded from the site name
+//     and MAMA_FAULTS_SEED (prob:P), so a failing chaos run reproduces
+//     exactly from its seed.
+//  3. Every site is registered and enumerable (Sites), so the chaos
+//     suite can assert that the injection surface it expects actually
+//     exists — a renamed or deleted site fails a test instead of
+//     silently un-covering a failure mode.
+//
+// Environment format:
+//
+//	MAMA_FAULTS="server/worker/panic=once,server/worker/slow=every:3"
+//	MAMA_FAULTS_SEED=7   # seeds prob:P rules (default 1)
+//
+// Rules: off | always | once | first:N | every:N | prob:P (0<P<=1).
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Rule decides whether a site fires on a given evaluation. n is the
+// 1-based evaluation index; rng is the site's deterministic PRNG state.
+type rule struct {
+	spec string // the string it was parsed from, for introspection
+	fire func(n uint64, rng *splitmix) bool
+}
+
+// ParseRule parses a rule spec (off, always, once, first:N, every:N,
+// prob:P). It is exported so callers can validate operator input early.
+func ParseRule(spec string) error {
+	_, err := parseRule(spec)
+	return err
+}
+
+func parseRule(spec string) (rule, error) {
+	spec = strings.TrimSpace(spec)
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "off", "":
+		return rule{spec: "off", fire: func(uint64, *splitmix) bool { return false }}, nil
+	case "always", "on":
+		return rule{spec: "always", fire: func(uint64, *splitmix) bool { return true }}, nil
+	case "once":
+		return rule{spec: "once", fire: func(n uint64, _ *splitmix) bool { return n == 1 }}, nil
+	case "first":
+		k, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil || k == 0 {
+			return rule{}, fmt.Errorf("faultinject: bad rule %q (want first:N, N>=1)", spec)
+		}
+		return rule{spec: spec, fire: func(n uint64, _ *splitmix) bool { return n <= k }}, nil
+	case "every":
+		k, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil || k == 0 {
+			return rule{}, fmt.Errorf("faultinject: bad rule %q (want every:N, N>=1)", spec)
+		}
+		return rule{spec: spec, fire: func(n uint64, _ *splitmix) bool { return n%k == 0 }}, nil
+	case "prob":
+		p, err := strconv.ParseFloat(arg, 64)
+		if err != nil || p <= 0 || p > 1 {
+			return rule{}, fmt.Errorf("faultinject: bad rule %q (want prob:P, 0<P<=1)", spec)
+		}
+		return rule{spec: spec, fire: func(_ uint64, rng *splitmix) bool { return rng.float64() < p }}, nil
+	}
+	return rule{}, fmt.Errorf("faultinject: unknown rule %q", spec)
+}
+
+// splitmix is a tiny deterministic PRNG (SplitMix64), one per site so
+// prob rules on different sites draw independent, reproducible streams.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// fnv1a hashes a site name into its PRNG seed component.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Site is one named fault-injection point. The zero Site is invalid;
+// use New.
+type Site struct {
+	name string
+
+	armed atomic.Bool // fast-path check; true iff rule != off
+
+	mu    sync.Mutex
+	rule  rule
+	rng   splitmix
+	evals uint64 // evaluations while armed (1-based index for rules)
+
+	fired atomic.Uint64 // times the site actually fired
+}
+
+// Name returns the site's registered name.
+func (s *Site) Name() string { return s.name }
+
+// Fire evaluates the site: it reports true when the configured rule
+// says this evaluation should inject the fault. Disarmed sites return
+// false after a single atomic load.
+func (s *Site) Fire() bool {
+	if !s.armed.Load() {
+		return false
+	}
+	s.mu.Lock()
+	s.evals++
+	hit := s.rule.fire != nil && s.rule.fire(s.evals, &s.rng)
+	s.mu.Unlock()
+	if hit {
+		s.fired.Add(1)
+	}
+	return hit
+}
+
+// Fired returns how many times the site has fired.
+func (s *Site) Fired() uint64 { return s.fired.Load() }
+
+// set installs a rule and resets the deterministic state (evaluation
+// counter and PRNG), so enabling a rule always starts a fresh schedule.
+func (s *Site) set(r rule, seed uint64) {
+	s.mu.Lock()
+	s.rule = r
+	s.evals = 0
+	s.rng = splitmix{state: fnv1a(s.name) ^ seed}
+	s.mu.Unlock()
+	s.armed.Store(r.spec != "off")
+}
+
+// registry is the process-wide site table. Env configuration is parsed
+// once, lazily, and applied both to already-registered sites and to
+// sites registered later.
+var reg = struct {
+	mu      sync.Mutex
+	sites   map[string]*Site
+	envOnce sync.Once
+	env     map[string]rule // pending env rules by site name
+	seed    uint64
+}{sites: make(map[string]*Site), seed: 1}
+
+// parseEnv reads MAMA_FAULTS / MAMA_FAULTS_SEED once. Malformed
+// entries are reported on stderr and skipped — a typo in a chaos-run
+// env var must not take the service down.
+func parseEnv() {
+	reg.env = make(map[string]rule)
+	if s := os.Getenv("MAMA_FAULTS_SEED"); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			reg.seed = v
+		} else {
+			fmt.Fprintf(os.Stderr, "faultinject: ignoring bad MAMA_FAULTS_SEED %q\n", s)
+		}
+	}
+	raw := os.Getenv("MAMA_FAULTS")
+	if raw == "" {
+		return
+	}
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(part, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "faultinject: ignoring malformed MAMA_FAULTS entry %q\n", part)
+			continue
+		}
+		r, err := parseRule(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultinject: ignoring %q: %v\n", part, err)
+			continue
+		}
+		reg.env[strings.TrimSpace(name)] = r
+	}
+}
+
+// New registers (or returns the already-registered) site with the given
+// name, applying any matching MAMA_FAULTS rule. Registration is
+// idempotent so independent packages can declare the same site.
+func New(name string) *Site {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.envOnce.Do(parseEnv)
+	if s, ok := reg.sites[name]; ok {
+		return s
+	}
+	s := &Site{name: name}
+	if r, ok := reg.env[name]; ok {
+		s.set(r, reg.seed)
+	}
+	reg.sites[name] = s
+	return s
+}
+
+// Sites returns the sorted names of every registered site, so tests can
+// assert the expected injection surface exists.
+func Sites() []string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	out := make([]string, 0, len(reg.sites))
+	for name := range reg.sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the registered site with the given name, if any.
+func Lookup(name string) (*Site, bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	s, ok := reg.sites[name]
+	return s, ok
+}
+
+// Enable arms a registered site with the given rule spec and returns a
+// restore function that disarms it again (test hook). It overrides any
+// env-provided rule until restore is called.
+func Enable(name, spec string) (restore func(), err error) {
+	r, err := parseRule(spec)
+	if err != nil {
+		return nil, err
+	}
+	reg.mu.Lock()
+	reg.envOnce.Do(parseEnv)
+	s, ok := reg.sites[name]
+	if !ok {
+		s = &Site{name: name}
+		reg.sites[name] = s
+	}
+	seed := reg.seed
+	reg.mu.Unlock()
+	s.set(r, seed)
+	off, _ := parseRule("off")
+	return func() { s.set(off, seed) }, nil
+}

@@ -1,0 +1,215 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+// resetEnv re-parses MAMA_FAULTS as if the process had just started,
+// so env-activation tests can set variables per test case.
+func resetEnv(t *testing.T) {
+	t.Helper()
+	reg.mu.Lock()
+	reg.envOnce = sync.Once{}
+	reg.seed = 1
+	reg.envOnce.Do(parseEnv)
+	env := reg.env
+	seed := reg.seed
+	sites := make([]*Site, 0, len(reg.sites))
+	for _, s := range reg.sites {
+		sites = append(sites, s)
+	}
+	reg.mu.Unlock()
+	off, _ := parseRule("off")
+	for _, s := range sites {
+		if r, ok := env[s.name]; ok {
+			s.set(r, seed)
+		} else {
+			s.set(off, seed)
+		}
+	}
+}
+
+func TestRuleSchedules(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []bool // fire pattern over the first evaluations
+	}{
+		{"off", []bool{false, false, false}},
+		{"always", []bool{true, true, true}},
+		{"once", []bool{true, false, false}},
+		{"first:2", []bool{true, true, false, false}},
+		{"every:3", []bool{false, false, true, false, false, true}},
+	}
+	for _, c := range cases {
+		s := &Site{name: "test/" + c.spec}
+		r, err := parseRule(c.spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.spec, err)
+		}
+		s.set(r, 1)
+		for i, want := range c.want {
+			if got := s.Fire(); got != want {
+				t.Errorf("rule %q eval %d = %v, want %v", c.spec, i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestRuleParseErrors(t *testing.T) {
+	for _, spec := range []string{"sometimes", "every:0", "every:x", "first:0", "prob:0", "prob:1.5", "prob:x"} {
+		if err := ParseRule(spec); err == nil {
+			t.Errorf("ParseRule(%q) accepted a bad rule", spec)
+		}
+	}
+	for _, spec := range []string{"off", "always", "once", "first:3", "every:7", "prob:0.25"} {
+		if err := ParseRule(spec); err != nil {
+			t.Errorf("ParseRule(%q): %v", spec, err)
+		}
+	}
+}
+
+// TestProbDeterministic checks that prob rules replay the same firing
+// schedule for the same (site, seed) and a different one for a
+// different seed.
+func TestProbDeterministic(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		s := &Site{name: "test/prob"}
+		r, _ := parseRule("prob:0.5")
+		s.set(r, seed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Fire()
+		}
+		return out
+	}
+	a, b, c := pattern(1), pattern(1), pattern(2)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed produced different firing schedules")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical 64-eval schedules (suspicious)")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("prob:0.5 fired %d/%d times over 64 evals", fired, len(a))
+	}
+}
+
+func TestEnableRestoreAndCounts(t *testing.T) {
+	resetEnv(t)
+	site := New("test/enable")
+	if site.Fire() {
+		t.Fatal("unarmed site fired")
+	}
+	restore, err := Enable("test/enable", "first:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := site.Fired()
+	if !site.Fire() || !site.Fire() || site.Fire() {
+		t.Error("first:2 schedule wrong")
+	}
+	if site.Fired()-before != 2 {
+		t.Errorf("Fired moved by %d, want 2", site.Fired()-before)
+	}
+	restore()
+	if site.Fire() {
+		t.Error("site still armed after restore")
+	}
+	// Re-enabling resets the schedule from evaluation 1.
+	restore2, _ := Enable("test/enable", "once")
+	defer restore2()
+	if !site.Fire() || site.Fire() {
+		t.Error("re-enabled once rule did not restart its schedule")
+	}
+}
+
+func TestRegistrationIdempotentAndEnumerable(t *testing.T) {
+	a := New("test/registry/site")
+	b := New("test/registry/site")
+	if a != b {
+		t.Fatal("duplicate registration returned a different site")
+	}
+	found := false
+	for _, name := range Sites() {
+		if name == "test/registry/site" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Sites() does not list the registered site: %v", Sites())
+	}
+	if s, ok := Lookup("test/registry/site"); !ok || s != a {
+		t.Fatal("Lookup did not return the registered site")
+	}
+	if _, ok := Lookup("test/registry/absent"); ok {
+		t.Fatal("Lookup invented a site")
+	}
+}
+
+func TestEnvActivation(t *testing.T) {
+	t.Setenv("MAMA_FAULTS", "test/env/a=once, test/env/b=every:2,malformed,test/env/c=bogus:rule")
+	t.Setenv("MAMA_FAULTS_SEED", "9")
+	resetEnv(t)
+	defer func() {
+		t.Setenv("MAMA_FAULTS", "")
+		t.Setenv("MAMA_FAULTS_SEED", "")
+		resetEnv(t)
+	}()
+
+	// Sites registered after env parsing pick up their rules.
+	a := New("test/env/a")
+	if !a.Fire() || a.Fire() {
+		t.Error("env-armed once rule wrong")
+	}
+	b := New("test/env/b")
+	if b.Fire() || !b.Fire() {
+		t.Error("env-armed every:2 rule wrong")
+	}
+	// Malformed entries are skipped, not fatal.
+	c := New("test/env/c")
+	if c.Fire() {
+		t.Error("site with malformed env rule must stay disarmed")
+	}
+}
+
+// TestConcurrentFire exercises Fire from many goroutines under -race
+// and checks the exact fire count of a counter-based rule.
+func TestConcurrentFire(t *testing.T) {
+	resetEnv(t)
+	site := New("test/concurrent")
+	restore, err := Enable("test/concurrent", "every:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				site.Fire()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := site.Fired(); got != goroutines*per/10 {
+		t.Errorf("every:10 fired %d times over %d evals, want %d", got, goroutines*per, goroutines*per/10)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 
 	"micromama/internal/experiment"
 	"micromama/internal/sim"
@@ -19,8 +20,11 @@ import (
 //
 // Determinism: all hashed types are flat exported-field structs, and
 // encoding/json emits struct fields in declaration order, so the
-// encoding is canonical without map-ordering concerns.
-func jobKey(spec JobSpec, cfg sim.Config, scale experiment.Scale) string {
+// encoding is canonical without map-ordering concerns. A marshal
+// failure (an unmarshalable value sneaking into the hashed structs)
+// is returned as an error — never a panic — so a hostile or buggy
+// spec degrades to an HTTP error instead of taking the process down.
+func jobKey(spec JobSpec, cfg sim.Config, scale experiment.Scale) (string, error) {
 	canonical := struct {
 		Mix        []string
 		Seed       uint64
@@ -30,12 +34,10 @@ func jobKey(spec JobSpec, cfg sim.Config, scale experiment.Scale) string {
 	}{spec.Mix, spec.Seed, spec.Controller, scale, cfg}
 	b, err := json.Marshal(canonical)
 	if err != nil {
-		// Only unmarshalable types (func, chan) can fail here; the
-		// hashed structs contain none by construction.
-		panic("server: jobKey marshal: " + err.Error())
+		return "", fmt.Errorf("canonical job encoding: %w", err)
 	}
 	h := sha256.Sum256(b)
-	return hex.EncodeToString(h[:])
+	return hex.EncodeToString(h[:]), nil
 }
 
 // jobID renders the short job identifier clients see: the first 16 hex

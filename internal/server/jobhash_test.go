@@ -8,7 +8,10 @@ import (
 // newResolver returns a server usable only for resolve() (no workers).
 func newResolver(t *testing.T) *Server {
 	t.Helper()
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s, err := New(Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	return s
 }

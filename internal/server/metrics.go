@@ -22,8 +22,19 @@ type serverMetrics struct {
 	jobsFailed    *telemetry.Counter // all failures, incl. timeouts/cancels
 	jobsTimeout   *telemetry.Counter // failures from the per-job deadline
 	jobsCancelled *telemetry.Counter // failures from server shutdown
+	jobPanics     *telemetry.Counter // recovered panics inside job runs
 	simulations   *telemetry.Counter // RunMix executions actually performed
 	workersBusy   *telemetry.Gauge
+
+	// Drain. Submissions refused with 503 while the server drains.
+	rejectedDraining *telemetry.Counter
+
+	// Persistence (the -cache-dir write-behind mirror).
+	persistWrites      *telemetry.Counter // entries durably written
+	persistErrors      *telemetry.Counter // failed write attempts
+	persistDropped     *telemetry.Counter // write-behind queue overflows
+	persistLoaded      *telemetry.Counter // entries restored at startup
+	persistQuarantined *telemetry.Counter // corrupt entries renamed aside
 
 	// Latency. Wait = enqueue → worker pickup; run = pickup → finish.
 	waitSeconds *telemetry.Histogram
@@ -52,6 +63,20 @@ func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
 			"Jobs that failed by exceeding their per-job deadline."),
 		jobsCancelled: r.Counter("mama_server_jobs_cancelled_total",
 			"Jobs aborted by server shutdown."),
+		jobPanics: r.Counter("mama_server_job_panics_total",
+			"Panics recovered inside job runs (the worker survived)."),
+		rejectedDraining: r.Counter("mama_server_jobs_rejected_draining_total",
+			"Job submissions refused with 503 because the server was draining."),
+		persistWrites: r.Counter("mama_server_cache_persist_writes_total",
+			"Result-cache entries durably written to the cache dir."),
+		persistErrors: r.Counter("mama_server_cache_persist_errors_total",
+			"Result-cache persistence writes that failed."),
+		persistDropped: r.Counter("mama_server_cache_persist_dropped_total",
+			"Write-behind entries dropped because the persist queue was full."),
+		persistLoaded: r.Counter("mama_server_cache_persist_loaded_total",
+			"Result-cache entries restored from the cache dir at startup."),
+		persistQuarantined: r.Counter("mama_server_cache_persist_quarantined_total",
+			"Corrupt or unreadable cache files quarantined at startup."),
 		simulations: r.Counter("mama_server_simulations_total",
 			"RunMix simulations actually executed (cache misses that ran)."),
 		workersBusy: r.Gauge("mama_server_workers_busy",
@@ -79,6 +104,14 @@ func newServerMetrics(r *telemetry.Registry, s *Server) *serverMetrics {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			return float64(len(s.jobs))
+		})
+	r.GaugeFunc("mama_server_draining",
+		"1 while the server is draining (refusing new submissions), else 0.",
+		func() float64 {
+			if s.isDraining() {
+				return 1
+			}
+			return 0
 		})
 	return m
 }

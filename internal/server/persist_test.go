@@ -1,0 +1,223 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingRun returns a fake runFunc and a pointer to its call count.
+func countingRun() (runFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(ctx context.Context, spec JobSpec) (JobResult, error) {
+		calls.Add(1)
+		return JobResult{Mix: "fake", WS: 2.5}, nil
+	}, &calls
+}
+
+// runOneJob submits spec and waits for completion, returning the job ID.
+func runOneJob(t *testing.T, ts *httptest.Server, spec string) string {
+	t.Helper()
+	resp, view := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	body := waitDone(t, ts, view.ID, 10*time.Second)
+	if body.Status != StatusDone {
+		t.Fatalf("job finished as %q (%s)", body.Status, body.Error)
+	}
+	return view.ID
+}
+
+// TestPersistRoundTrip is the restart-recovers-cache contract: run a
+// job with -cache-dir, shut down (flushing write-behind), start a new
+// server on the same dir, and the identical spec must be served as a
+// cache hit without re-simulation.
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	run1, calls1 := countingRun()
+	srv1 := mustNew(t, Config{Workers: 1, QueueDepth: 4, CacheDir: dir, Run: run1})
+	ts1 := httptest.NewServer(srv1.Handler())
+	id := runOneJob(t, ts1, fakeSpec(1))
+	ts1.Close()
+	srv1.Close() // drain + flush
+
+	if calls1.Load() != 1 {
+		t.Fatalf("first server ran %d simulations, want 1", calls1.Load())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("persisted files = %v (err %v), want exactly one entry", files, err)
+	}
+
+	// "Restart": a fresh server over the same dir must not re-simulate.
+	run2, calls2 := countingRun()
+	srv2 := mustNew(t, Config{Workers: 1, QueueDepth: 4, CacheDir: dir, Run: run2})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	resp, view := postJob(t, ts2, fakeSpec(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart submit: HTTP %d, want 200 (cache hit)", resp.StatusCode)
+	}
+	if view.ID != id {
+		t.Fatalf("post-restart job ID %s, want %s (content-addressed)", view.ID, id)
+	}
+	if !view.Cached {
+		t.Error("post-restart view not flagged cached")
+	}
+	code, body := getResult(t, ts2, view.ID)
+	if code != http.StatusOK || body.Result == nil || body.Result.WS != 2.5 {
+		t.Fatalf("restored result wrong: HTTP %d %+v", code, body.Result)
+	}
+	if calls2.Load() != 0 {
+		t.Errorf("second server ran %d simulations, want 0", calls2.Load())
+	}
+	st := getStats(t, ts2)
+	if st.CacheLoaded != 1 || st.CacheQuarantined != 0 || st.CacheHits != 1 {
+		t.Errorf("stats loaded/quarantined/hits = %d/%d/%d, want 1/0/1",
+			st.CacheLoaded, st.CacheQuarantined, st.CacheHits)
+	}
+}
+
+// TestPersistQuarantine starts a server over a cache dir holding one
+// valid entry and three damaged ones; the damaged files must be
+// renamed aside and counted while the valid entry still loads.
+func TestPersistQuarantine(t *testing.T) {
+	dir := t.TempDir()
+
+	// Produce one valid entry the honest way.
+	run1, _ := countingRun()
+	srv1 := mustNew(t, Config{Workers: 1, QueueDepth: 4, CacheDir: dir, Run: run1})
+	ts1 := httptest.NewServer(srv1.Handler())
+	runOneJob(t, ts1, fakeSpec(1))
+	ts1.Close()
+	srv1.Close()
+
+	// Damage: truncated JSON, non-JSON garbage, and a syntactically
+	// valid entry whose key does not match its file name.
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid, _ := json.Marshal(persistEntry{Key: "someotherkey", Result: JobResult{WS: 9}})
+	writeFile("aaaa.json", `{"key":"aaaa","result":{"ws"`) // truncated (torn write)
+	writeFile("bbbb.json", "not json at all")
+	writeFile("cccc.json", string(valid)) // key/file mismatch
+
+	run2, calls2 := countingRun()
+	srv2 := mustNew(t, Config{Workers: 1, QueueDepth: 4, CacheDir: dir, Run: run2})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	st := getStats(t, ts2)
+	if st.CacheLoaded != 1 || st.CacheQuarantined != 3 {
+		t.Fatalf("loaded/quarantined = %d/%d, want 1/3", st.CacheLoaded, st.CacheQuarantined)
+	}
+	for _, name := range []string{"aaaa", "bbbb", "cccc"} {
+		if _, err := os.Stat(filepath.Join(dir, name+".json.quarantine")); err != nil {
+			t.Errorf("%s.json not quarantined: %v", name, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name+".json")); !os.IsNotExist(err) {
+			t.Errorf("%s.json still present after quarantine", name)
+		}
+	}
+	// The valid entry still serves as a cache hit.
+	resp, _ := postJob(t, ts2, fakeSpec(1))
+	if resp.StatusCode != http.StatusOK || calls2.Load() != 0 {
+		t.Errorf("valid entry not restored: HTTP %d, %d simulations", resp.StatusCode, calls2.Load())
+	}
+}
+
+// TestPersistWriteFault injects persistent write failures and checks
+// they are counted and contained: serving is unaffected and nothing is
+// written.
+func TestPersistWriteFault(t *testing.T) {
+	enableFault(t, "server/cache/persist-write", "always")
+	dir := t.TempDir()
+	run, _ := countingRun()
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 4, CacheDir: dir, Run: run})
+	ts := httptest.NewServer(srv.Handler())
+	runOneJob(t, ts, fakeSpec(1))
+
+	// In-memory cache still works while persistence fails.
+	resp, _ := postJob(t, ts, fakeSpec(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("in-memory cache hit: HTTP %d, want 200", resp.StatusCode)
+	}
+	if v := scrapeMetric(t, ts, "mama_server_cache_persist_errors_total"); v < 1 {
+		t.Errorf("persist errors = %v, want >= 1", v)
+	}
+	ts.Close()
+	srv.Close()
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(files) != 0 {
+		t.Errorf("files written despite injected failures: %v", files)
+	}
+}
+
+// TestPersistReadFault injects read failures at load time: entries are
+// quarantined exactly like corrupt files and startup proceeds.
+func TestPersistReadFault(t *testing.T) {
+	dir := t.TempDir()
+	run1, _ := countingRun()
+	srv1 := mustNew(t, Config{Workers: 1, QueueDepth: 4, CacheDir: dir, Run: run1})
+	ts1 := httptest.NewServer(srv1.Handler())
+	runOneJob(t, ts1, fakeSpec(1))
+	ts1.Close()
+	srv1.Close()
+
+	enableFault(t, "server/cache/persist-read", "always")
+	run2, calls2 := countingRun()
+	srv2 := mustNew(t, Config{Workers: 1, QueueDepth: 4, CacheDir: dir, Run: run2})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	st := getStats(t, ts2)
+	if st.CacheLoaded != 0 || st.CacheQuarantined != 1 {
+		t.Fatalf("loaded/quarantined = %d/%d, want 0/1", st.CacheLoaded, st.CacheQuarantined)
+	}
+	// The entry is gone, so the spec re-simulates — availability over
+	// completeness.
+	runOneJob(t, ts2, fakeSpec(1))
+	if calls2.Load() != 1 {
+		t.Errorf("re-simulations = %d, want 1", calls2.Load())
+	}
+}
+
+// TestCorruptFileNamesAreSafe ensures quarantine file naming cannot
+// escape the cache dir (a *.json file with path separators cannot exist
+// as a single directory entry, but keys inside entries are attacker
+// influenced — they only ever feed comparisons, never paths).
+func TestCorruptFileNamesAreSafe(t *testing.T) {
+	dir := t.TempDir()
+	evil, _ := json.Marshal(persistEntry{Key: "../../escape", Result: JobResult{}})
+	if err := os.WriteFile(filepath.Join(dir, "dddd.json"), evil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run, _ := countingRun()
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 4, CacheDir: dir, Run: run})
+	defer srv.Close()
+	// The mismatched key is quarantined in place; nothing outside dir.
+	if _, err := os.Stat(filepath.Join(dir, "dddd.json.quarantine")); err != nil {
+		t.Errorf("evil-key entry not quarantined: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Errorf("cache dir entries = %v (err %v), want just the quarantined file", entries, err)
+	}
+	if !strings.HasSuffix(entries[0].Name(), ".quarantine") {
+		t.Errorf("unexpected surviving file %q", entries[0].Name())
+	}
+}

@@ -5,11 +5,26 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"micromama/internal/faultinject"
 	"micromama/internal/telemetry"
 )
+
+// Fault-injection sites on the worker path (see internal/faultinject).
+// faultWorkerPanic panics inside a job run to exercise panic isolation;
+// faultWorkerSlow stretches a run by faultSlowDelay to exercise drain
+// deadlines and queue backpressure under load.
+var (
+	faultWorkerPanic = faultinject.New("server/worker/panic")
+	faultWorkerSlow  = faultinject.New("server/worker/slow")
+)
+
+// faultSlowDelay is how long an injected slow job stalls. A variable so
+// chaos tests can tighten it.
+var faultSlowDelay = 100 * time.Millisecond
 
 // job is the server-side state of one submitted simulation. The
 // lifecycle is queued → running → done|failed; transitions happen on
@@ -160,7 +175,7 @@ func (p *pool) execute(worker int, j *job) {
 	ctx, cancel := context.WithTimeout(p.baseCtx, j.timeout)
 	ctx = telemetry.WithRequestID(ctx, j.reqID)
 	start := time.Now()
-	res, err := p.run(ctx, j.spec)
+	res, err := p.runIsolated(ctx, j)
 	cancel()
 	run := time.Since(start)
 	p.m.runSeconds.Observe(run.Seconds())
@@ -175,6 +190,57 @@ func (p *pool) execute(worker int, j *job) {
 			"ms", run.Milliseconds())
 	}
 	p.onFinish(j, res, err)
+}
+
+// runIsolated executes one job with panic isolation: a panic anywhere
+// in the run (simulator bug, hostile spec, injected fault) is recovered
+// here, converted into a job failure carrying the panic value and
+// captured stack, and counted — the worker goroutine survives and keeps
+// draining the queue. Without this, one bad job kills the whole
+// service.
+func (p *pool) runIsolated(ctx context.Context, j *job) (res JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			p.m.jobPanics.Inc()
+			p.log.Error("job panicked; worker recovered",
+				"req", j.reqID, "job", j.id, "panic", fmt.Sprint(r),
+				"stack", string(stack))
+			res = JobResult{}
+			err = fmt.Errorf("job panicked: %v\n%s", r, firstStackLines(stack, 6))
+		}
+	}()
+	if faultWorkerPanic.Fire() {
+		panic("faultinject: server/worker/panic")
+	}
+	if faultWorkerSlow.Fire() {
+		select {
+		case <-time.After(faultSlowDelay):
+		case <-ctx.Done():
+		}
+	}
+	return p.run(ctx, j.spec)
+}
+
+// firstStackLines trims a captured stack to its first n lines, enough
+// for a job's error message to locate the panic without shipping the
+// whole trace to API clients (the full stack goes to the log).
+func firstStackLines(stack []byte, n int) string {
+	rest := stack
+	for i := 0; i < n; i++ {
+		nl := -1
+		for k, b := range rest {
+			if b == '\n' {
+				nl = k
+				break
+			}
+		}
+		if nl < 0 {
+			return string(stack)
+		}
+		rest = rest[nl+1:]
+	}
+	return string(stack[:len(stack)-len(rest)])
 }
 
 // wait blocks until every worker has exited.

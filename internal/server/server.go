@@ -7,19 +7,32 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"micromama/internal/dram"
 	"micromama/internal/experiment"
+	"micromama/internal/faultinject"
 	"micromama/internal/sim"
 	"micromama/internal/telemetry"
 	"micromama/internal/trace"
 	"micromama/internal/workload"
 )
+
+// faultSubmit500 injects a transient 500 into POST /v1/jobs before any
+// state changes, exercising client retry paths (safe to retry: the
+// submission is idempotent via content-addressed dedup).
+var faultSubmit500 = faultinject.New("server/http/submit-500")
+
+// errInternal marks failures that are the server's fault, not the
+// client's; handlers map it to HTTP 500 instead of 400.
+var errInternal = errors.New("internal error")
 
 // Config tunes the service. Zero values select production defaults.
 type Config struct {
@@ -34,6 +47,15 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxCores bounds the mix size a job may request (default 16).
 	MaxCores int
+	// CacheDir, when non-empty, mirrors the result cache to disk:
+	// completed results are written behind (atomic tmp+rename) and
+	// restored on startup, so a restart serves previously simulated
+	// specs as cache hits. Corrupt entries are quarantined, not fatal.
+	CacheDir string
+	// ReadyThreshold is the queue depth at or above which /readyz
+	// reports not-ready (load shedding hint for balancers); 0 means the
+	// queue capacity.
+	ReadyThreshold int
 	// Logger receives structured job-lifecycle logs with per-job request
 	// IDs (see internal/telemetry field conventions). nil discards them;
 	// cmd/mamaserved always sets one.
@@ -86,12 +108,23 @@ type Server struct {
 	runnersMu sync.Mutex
 	runners   map[experiment.Scale]*experiment.Runner
 
+	// persist mirrors the result cache to disk; nil without CacheDir.
+	persist *persister
+
+	// draining is set (under mu) when shutdown begins: submissions are
+	// refused with 503 and /readyz reports not-ready. drainOnce closes
+	// the queue exactly once; the mu ordering guarantees no tryPush can
+	// race the close.
+	draining  atomic.Bool
+	drainOnce sync.Once
+
 	baseCtx context.Context
 	cancel  context.CancelFunc
 }
 
-// New builds and starts a Server (its worker pool runs until Close).
-func New(cfg Config) *Server {
+// New builds and starts a Server (its worker pool runs until Close or
+// Shutdown). The only error path is an unusable CacheDir.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -106,6 +139,16 @@ func New(cfg Config) *Server {
 		cancel:  cancel,
 	}
 	s.metrics = newServerMetrics(s.reg, s)
+	if cfg.CacheDir != "" {
+		p, err := newPersister(cfg.CacheDir, s.metrics, s.log)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		p.loadInto(s.cache)
+		p.start()
+		s.persist = p
+	}
 	// Touch the shared trace pool so its mama_trace_pool_* series are
 	// registered on the default registry (and thus visible on /metrics)
 	// before the first job materializes a trace.
@@ -116,18 +159,72 @@ func New(cfg Config) *Server {
 	}
 	s.pool = &pool{run: run, baseCtx: ctx, onFinish: s.finishJob, m: s.metrics, log: s.log}
 	s.pool.start(cfg.Workers, s.q)
-	return s
+	return s, nil
 }
 
 // Registry exposes the server's private metric registry (tests and
 // embedders; the HTTP surface is GET /metrics).
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
-// Close stops admission, cancels in-flight jobs, and waits for workers.
-func (s *Server) Close() {
+// isDraining reports whether shutdown has begun.
+func (s *Server) isDraining() bool { return s.draining.Load() }
+
+// beginDrain flips the server into draining mode exactly once: new
+// submissions get 503, /readyz reports not-ready, and the queue is
+// closed so workers exit after finishing what is already admitted. The
+// draining flag is set under mu — the same lock submit holds around
+// tryPush — so no push can race the channel close.
+func (s *Server) beginDrain() {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining.Store(true)
+		s.mu.Unlock()
+		s.q.close()
+		s.log.Info("drain started", "queued", s.q.depth())
+	})
+}
+
+// Shutdown gracefully drains the server: intake stops immediately
+// (submissions are refused with 503 + Retry-After), admitted jobs run
+// to completion, and the result cache is flushed to disk. If ctx
+// expires first, in-flight jobs are cancelled (they fail with
+// context.Canceled and are counted as cancelled) and Shutdown returns
+// ctx.Err() after the workers exit. Safe to call concurrently with
+// Close and more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.pool.wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.log.Warn("drain deadline reached; cancelling in-flight jobs")
+		s.cancel()
+		<-done
+	}
 	s.cancel()
-	s.q.close()
+	if s.persist != nil {
+		s.persist.close()
+	}
+	s.log.Info("drain complete", "err", err)
+	return err
+}
+
+// Close stops admission, cancels in-flight jobs immediately, waits for
+// workers, and flushes the persistent cache. It is Shutdown with a
+// zero-length drain deadline.
+func (s *Server) Close() {
+	s.beginDrain()
+	s.cancel()
 	s.pool.wait()
+	if s.persist != nil {
+		s.persist.close()
+	}
 }
 
 // plan is a fully resolved job: the canonical config, scale, and mix
@@ -174,7 +271,12 @@ func (s *Server) resolve(spec JobSpec) (plan, error) {
 		}
 		cfg.DRAM = dram.DDR4(mtps, ch)
 	}
-	key := jobKey(spec, cfg, scale)
+	key, err := jobKey(spec, cfg, scale)
+	if err != nil {
+		// The server's hashing contract is broken, not the request:
+		// answer 500, never panic the process on a hostile spec.
+		return plan{}, fmt.Errorf("%w: %v", errInternal, err)
+	}
 	return plan{
 		spec:  spec,
 		mix:   workload.Mix{ID: int(spec.Seed), Specs: specs},
@@ -247,6 +349,9 @@ func (s *Server) simulate(ctx context.Context, spec JobSpec) (JobResult, error) 
 func (s *Server) finishJob(j *job, res JobResult, err error) {
 	if err == nil {
 		s.cache.put(j.key, res)
+		if s.persist != nil {
+			s.persist.enqueue(j.key, res)
+		}
 		s.metrics.jobsCompleted.Inc()
 	} else {
 		s.metrics.jobsFailed.Inc()
@@ -262,11 +367,16 @@ func (s *Server) finishJob(j *job, res JobResult, err error) {
 
 // submit admits one job: cache hit → done immediately; identical job
 // already queued or running → coalesce onto it (singleflight); queue
-// full → reject. Returns the job and the HTTP status to answer with.
+// full or draining → reject. Returns the job and the HTTP status to
+// answer with.
 func (s *Server) submit(spec JobSpec) (*job, int, error) {
 	p, err := s.resolve(spec)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		status := http.StatusBadRequest
+		if errors.Is(err, errInternal) {
+			status = http.StatusInternalServerError
+		}
+		return nil, status, err
 	}
 	timeout := s.cfg.DefaultTimeout
 	if p.spec.TimeoutMs > 0 {
@@ -280,6 +390,15 @@ func (s *Server) submit(spec JobSpec) (*job, int, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// Draining: refuse before touching any state. Clients retry against
+	// the replacement process (the persisted cache makes that cheap).
+	if s.draining.Load() {
+		s.metrics.rejectedDraining.Inc()
+		s.log.Warn("job refused: draining", "req", reqID, "job", p.id)
+		return nil, http.StatusServiceUnavailable,
+			fmt.Errorf("server is draining; retry against a healthy instance")
+	}
 
 	// Content-addressed fast path: an identical job already finished.
 	if res, ok := s.cache.get(p.key); ok {
@@ -349,18 +468,22 @@ func (s *Server) Stats() Stats {
 	s.mu.Unlock()
 	m := s.metrics
 	return Stats{
-		Submitted:   m.jobsSubmitted.Value(),
-		Completed:   m.jobsCompleted.Value(),
-		Failed:      m.jobsFailed.Value(),
-		Rejected:    m.jobsRejected.Value(),
-		CacheHits:   m.cacheHits.Value(),
-		DedupHits:   m.dedupHits.Value(),
-		Simulations: m.simulations.Value(),
-		QueueDepth:  s.q.depth(),
-		QueueCap:    s.q.cap(),
-		Workers:     s.cfg.Workers,
-		CachedKeys:  s.cache.size(),
-		JobsTracked: tracked,
+		Submitted:        m.jobsSubmitted.Value(),
+		Completed:        m.jobsCompleted.Value(),
+		Failed:           m.jobsFailed.Value(),
+		Panics:           m.jobPanics.Value(),
+		Rejected:         m.jobsRejected.Value(),
+		CacheHits:        m.cacheHits.Value(),
+		DedupHits:        m.dedupHits.Value(),
+		Simulations:      m.simulations.Value(),
+		QueueDepth:       s.q.depth(),
+		QueueCap:         s.q.cap(),
+		Workers:          s.cfg.Workers,
+		CachedKeys:       s.cache.size(),
+		JobsTracked:      tracked,
+		Draining:         s.isDraining(),
+		CacheLoaded:      m.persistLoaded.Value(),
+		CacheQuarantined: m.persistQuarantined.Value(),
 	}
 }
 
@@ -375,6 +498,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	// Prometheus text-format exposition: this server's registry followed
 	// by the process-wide one (sim progress, trace pool, experiment
 	// caches).
@@ -397,7 +521,38 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// retryAfterSeconds estimates how long a rejected client should back
+// off before resubmitting, derived from live queue-wait telemetry: the
+// mean observed wait (enqueue → worker pickup) scaled by how full the
+// queue currently is. No samples yet → 1s. Clamped to [1, 60] so the
+// header is always a sane integer.
+func (s *Server) retryAfterSeconds() int {
+	h := s.metrics.waitSeconds
+	n := h.Count()
+	if n == 0 {
+		return 1
+	}
+	mean := h.Sum() / float64(n)
+	est := mean
+	if c := s.q.cap(); c > 0 {
+		est = mean * float64(s.q.depth()) / float64(c)
+	}
+	sec := int(math.Ceil(est))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if faultSubmit500.Fire() {
+		writeJSON(w, http.StatusInternalServerError,
+			errorBody{Error: "injected fault: server/http/submit-500"})
+		return
+	}
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -407,8 +562,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, status, err := s.submit(spec)
 	if err != nil {
-		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+		switch status {
+		case http.StatusTooManyRequests:
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		case http.StatusServiceUnavailable:
+			// Draining: this process will not take the job; the retry
+			// interval only needs to outlive a restart or failover.
+			w.Header().Set("Retry-After", "5")
 		}
 		writeJSON(w, status, errorBody{Error: err.Error()})
 		return
@@ -481,6 +641,31 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// It stays 200 even while draining, so orchestrators do not kill a
+// process that is finishing its jobs.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: whether this instance should receive new
+// traffic. Not ready while draining or while the admission queue is at
+// or beyond the saturation threshold (default: its capacity) — both
+// states mean a new submission would be refused anyway.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	threshold := s.cfg.ReadyThreshold
+	if threshold <= 0 {
+		threshold = s.q.cap()
+	}
+	depth := s.q.depth()
+	switch {
+	case s.isDraining():
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "draining"})
+	case depth >= threshold:
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "saturated", "queue_depth": depth, "threshold": threshold})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }

@@ -13,6 +13,16 @@ import (
 	"time"
 )
 
+// mustNew builds a started Server or fails the test.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv
+}
+
 func postJob(t *testing.T, ts *httptest.Server, spec string) (*http.Response, JobView) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
@@ -79,7 +89,7 @@ func getStats(t *testing.T, ts *httptest.Server) Stats {
 // path, then resubmits the identical job and checks it is served from
 // the content-addressed cache without a second simulation.
 func TestSmokeEndToEnd(t *testing.T) {
-	srv := New(Config{Workers: 2, QueueDepth: 8})
+	srv := mustNew(t, Config{Workers: 2, QueueDepth: 8})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -146,7 +156,7 @@ func fakeSpec(seed int) string {
 func TestQueueOverflow(t *testing.T) {
 	started := make(chan struct{}, 4)
 	release := make(chan struct{})
-	srv := New(Config{
+	srv := mustNew(t, Config{
 		Workers:    1,
 		QueueDepth: 1,
 		Run: func(ctx context.Context, spec JobSpec) (JobResult, error) {
@@ -212,7 +222,7 @@ func TestQueueOverflow(t *testing.T) {
 // TestJobTimeout submits a job whose (fake) simulation never returns
 // and checks it fails with a timeout error while the server stays up.
 func TestJobTimeout(t *testing.T) {
-	srv := New(Config{
+	srv := mustNew(t, Config{
 		Workers:    1,
 		QueueDepth: 4,
 		Run: func(ctx context.Context, spec JobSpec) (JobResult, error) {
@@ -295,7 +305,7 @@ func scrapeMetric(t *testing.T, ts *httptest.Server, series string) float64 {
 // format and that a cache miss → hit sequence moves the server's
 // result-cache counters exactly.
 func TestMetricsEndpoint(t *testing.T) {
-	srv := New(Config{Workers: 1, QueueDepth: 4,
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 4,
 		Run: func(ctx context.Context, spec JobSpec) (JobResult, error) {
 			return JobResult{Mix: "fake", WS: 1}, nil
 		}})
@@ -363,7 +373,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 // TestBadRequests exercises validation failures.
 func TestBadRequests(t *testing.T) {
-	srv := New(Config{Workers: 1, QueueDepth: 1,
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 1,
 		Run: func(ctx context.Context, spec JobSpec) (JobResult, error) {
 			return JobResult{}, nil
 		}})

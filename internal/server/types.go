@@ -155,6 +155,7 @@ type Stats struct {
 	Submitted   uint64 `json:"submitted"`    // accepted POSTs (incl. cache/dedup hits)
 	Completed   uint64 `json:"completed"`    // jobs finished successfully
 	Failed      uint64 `json:"failed"`       // jobs finished with an error (incl. timeouts)
+	Panics      uint64 `json:"panics"`       // recovered panics inside job runs
 	Rejected    uint64 `json:"rejected"`     // 429s from queue overflow
 	CacheHits   uint64 `json:"cache_hits"`   // submissions satisfied by the result cache
 	DedupHits   uint64 `json:"dedup_hits"`   // submissions coalesced onto an in-flight job
@@ -164,4 +165,8 @@ type Stats struct {
 	Workers     int    `json:"workers"`      // worker-pool size
 	CachedKeys  int    `json:"cached_keys"`  // distinct results in the cache
 	JobsTracked int    `json:"jobs_tracked"` // jobs in the registry
+	// Resilience state.
+	Draining         bool   `json:"draining"`          // shutdown in progress; submits get 503
+	CacheLoaded      uint64 `json:"cache_loaded"`      // entries restored from -cache-dir at startup
+	CacheQuarantined uint64 `json:"cache_quarantined"` // corrupt cache files quarantined at startup
 }
