@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race chaos check bench bench-smoke bench-baseline bench-paper figures examples clean
+.PHONY: all build vet fmt fmt-check test race chaos sweep-smoke check bench bench-smoke bench-baseline bench-paper figures examples clean
 
 all: check
 
@@ -29,21 +29,29 @@ race:
 	$(GO) test -race ./...
 
 # Chaos suite: the serving-stack resilience tests (panic isolation,
-# graceful drain, crash-safe cache persistence, client retries) under
-# the race detector with fault injection activated through the
-# environment. The seeded slow-job fault stretches every 5th run to
+# graceful drain, crash-safe cache and sweep persistence, mid-sweep
+# worker death, client retries) under the race detector with fault
+# injection activated through the environment. The seeded slow-job fault stretches every 5th run to
 # shake out drain/timeout races; counter- and PRNG-based rules are
 # deterministic, so a red run reproduces exactly from the same seed.
 chaos:
 	MAMA_FAULTS="server/worker/slow=every:5" MAMA_FAULTS_SEED=7 \
-		$(GO) test -race -count=1 ./internal/faultinject ./internal/server ./internal/client
+		$(GO) test -race -count=1 ./internal/faultinject ./internal/server ./internal/client ./internal/sweep
+
+# Tiny real sweep driven end to end against an in-process server:
+# submit → stream → restart over the same cache dir → same-cells
+# resubmission answered entirely from the warm cache with zero new
+# simulations. See scripts/sweepsmoke.
+sweep-smoke:
+	$(GO) run ./scripts/sweepsmoke
 
 # The default gate: compile everything, vet, check formatting, run the
 # test suite, re-run it under the race detector, run the chaos suite
-# with fault injection enabled, then make sure the hot-path benchmarks
-# still run and stay allocation-free (1 iteration; catches bit-rot and
-# alloc regressions, not timing regressions).
-check: build vet fmt-check test race chaos bench-smoke
+# with fault injection enabled, drive a real sweep end to end, then
+# make sure the hot-path benchmarks still run and stay allocation-free
+# (1 iteration; catches bit-rot and alloc regressions, not timing
+# regressions).
+check: build vet fmt-check test race chaos sweep-smoke bench-smoke
 
 # Hot-path benchmark suite: cache/MSHR microbenchmarks, the per-core
 # advance benchmarks, and end-to-end simulator throughput, compared

@@ -6,6 +6,12 @@
 //	mamabench -scale small fig9 fig13
 //	mamabench -scale default all
 //	mamabench tab2 overheads fig1
+//	mamabench -server http://localhost:8077 fig11 fig13
+//
+// With -server, supported figures run as server-side sweeps (see
+// internal/sweep): the driver expands the same deterministic cells the
+// local path would simulate, submits them once, and streams results —
+// so a warm server answers a repeated figure without re-simulating.
 //
 // Experiment ids: tab1 tab2 tab3 fig1 fig2 fig3 fig4 fig9 fig10 fig11
 // fig12 fig13 fig14 fig15a fig15b fig16 overheads, or "all".
@@ -22,6 +28,7 @@ import (
 	"path/filepath"
 	"syscall"
 
+	"micromama/internal/client"
 	"micromama/internal/core"
 	"micromama/internal/dram"
 	"micromama/internal/experiment"
@@ -47,6 +54,7 @@ func main() {
 	scaleName := flag.String("scale", "small", "tiny | small | default | full")
 	flag.StringVar(&svgDir, "svg", "", "also write figures as SVG files into this directory")
 	flag.StringVar(&jsonDir, "json", "", "also write report data as JSON files into this directory")
+	server := flag.String("server", "", "run experiments remotely as sweeps against this mamaserved URL (fig11, fig13)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	metricsOut := flag.String("metrics-dump", "", "write telemetry in Prometheus text format to this file at exit (\"-\" for stdout)")
@@ -102,9 +110,22 @@ func main() {
 
 	r := experiment.NewRunner(scale)
 	r.BaseCtx = ctx
+	var rr *remoteRunner
+	if *server != "" {
+		rr = &remoteRunner{
+			ctx:       ctx,
+			c:         client.New(*server, client.Options{}),
+			scale:     scale,
+			scaleName: *scaleName,
+		}
+	}
 	for _, id := range ids {
 		fmt.Printf("==== %s (scale %s) ====\n", id, *scaleName)
-		if err := run(r, id); err != nil {
+		exec := func() error { return run(r, id) }
+		if rr != nil {
+			exec = func() error { return rr.run(id) }
+		}
+		if err := exec(); err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintln(os.Stderr, "mamabench: interrupted")
 			} else {

@@ -1,0 +1,291 @@
+package main
+
+// Remote figure drivers: with -server, a figure becomes one sweep
+// against mamaserved instead of a local simulation loop. The driver
+// expands exactly the (mix, controller, system) cells the local path
+// would run — mixes are sampled with the same deterministic seed — so
+// a warm server answers the whole figure from its result cache. The
+// sweep is submitted once, results stream back incrementally (and
+// resume across server restarts), and the aggregation below reproduces
+// the local report types bit-for-bit given the same cell results.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"micromama/internal/client"
+	"micromama/internal/dram"
+	"micromama/internal/experiment"
+	"micromama/internal/sweep"
+	"micromama/internal/workload"
+)
+
+// remoteRunner is the sweep-client counterpart of experiment.Runner.
+type remoteRunner struct {
+	ctx       context.Context
+	c         *client.Client
+	scale     experiment.Scale
+	scaleName string
+}
+
+// run dispatches one experiment id to its remote driver.
+func (rr *remoteRunner) run(id string) error {
+	switch id {
+	case "fig11":
+		rep, err := rr.fig11()
+		if err != nil {
+			return err
+		}
+		emit("fig11", rep)
+	case "fig13":
+		rep, err := rr.fig13()
+		if err != nil {
+			return err
+		}
+		emit("fig13", rep)
+	default:
+		return fmt.Errorf("no remote driver for %q (with -server, only fig11 and fig13 are available)", id)
+	}
+	return nil
+}
+
+// cellResult is the slice of a job result the figure aggregations use.
+type cellResult struct {
+	WS         float64 `json:"ws"`
+	HS         float64 `json:"hs"`
+	Unfairness float64 `json:"unfairness"`
+}
+
+// runSweep submits the spec and streams results until every cell is
+// terminal, returning one result per cell index. Any failed cell fails
+// the whole figure: a mean over a partial sample is not the figure.
+func (rr *remoteRunner) runSweep(spec sweep.Spec) (map[int]cellResult, error) {
+	view, err := rr.c.SubmitSweep(rr.ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "mamabench: sweep %s: %d cells (%d already satisfied by cache)\n",
+		view.ID, view.Cells, view.Deduped)
+
+	results := make(map[int]cellResult)
+	var failures []string
+	final, err := rr.c.StreamSweepResults(rr.ctx, view.ID, func(ev sweep.Event) error {
+		switch ev.Status {
+		case sweep.CellDone, sweep.CellDeduped:
+			var res cellResult
+			if jerr := json.Unmarshal(ev.Result, &res); jerr != nil {
+				return fmt.Errorf("cell %d: bad result payload: %w", ev.Cell, jerr)
+			}
+			results[ev.Cell] = res
+		case sweep.CellFailed:
+			failures = append(failures, fmt.Sprintf("cell %d [%s %s]: %s",
+				ev.Cell, strings.Join(ev.Spec.Mix, ","), ev.Spec.Controller, ev.Error))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s: %w", view.ID, err)
+	}
+	if len(failures) > 0 {
+		return nil, fmt.Errorf("sweep %s: %d cells failed:\n  %s",
+			final.ID, len(failures), strings.Join(failures, "\n  "))
+	}
+	if len(results) != final.Cells {
+		return nil, fmt.Errorf("sweep %s: stream delivered %d of %d cell results",
+			final.ID, len(results), final.Cells)
+	}
+	return results, nil
+}
+
+// mixNames flattens a sampled mix into catalog trace names, one per
+// core, as the server's cell spec expects.
+func mixNames(m workload.Mix) []string {
+	names := make([]string, len(m.Specs))
+	for i, sp := range m.Specs {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// normPct mirrors the local drivers' normalization: a relative to b,
+// as a signed fraction (0.05 = +5%).
+func normPct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a/b - 1
+}
+
+// meanCell accumulates a running mean of cell results per bucket.
+type meanCell struct {
+	ws, hs, unfair float64
+	n              int
+}
+
+func (m *meanCell) add(r cellResult) {
+	m.ws += r.WS
+	m.hs += r.HS
+	m.unfair += r.Unfairness
+	m.n++
+}
+
+func (m *meanCell) meanWS() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.ws / float64(m.n)
+}
+
+func (m *meanCell) meanHS() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.hs / float64(m.n)
+}
+
+func (m *meanCell) meanUnfairness() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.unfair / float64(m.n)
+}
+
+// fig11 reproduces Figure 11 (weighted speedup across memory
+// bandwidths) as a single sweep: DDR4-1866/2400 × 1/2 channels × 4/8
+// cores × {bandit, mumama, pythia} × the scale's sampled mixes.
+func (rr *remoteRunner) fig11() (*experiment.BandwidthReport, error) {
+	type system struct{ mtps, channels int }
+	systems := []system{{1866, 1}, {2400, 1}, {1866, 2}, {2400, 2}}
+	coreCounts := []int{4, 8}
+	controllers := []string{"bandit", "mumama", "pythia"}
+
+	type bucket struct {
+		sys        system
+		cores      int
+		controller string
+	}
+	spec := sweep.Spec{Name: "fig11-" + rr.scaleName}
+	groups := make(map[int]bucket) // cell index -> aggregation bucket
+	for _, sys := range systems {
+		for _, n := range coreCounts {
+			mixes := workload.Mixes(n, rr.scale.MixCount, rr.scale.Seed)
+			for _, key := range controllers {
+				for _, mix := range mixes {
+					groups[len(spec.Cells)] = bucket{sys, n, key}
+					spec.Cells = append(spec.Cells, sweep.Cell{
+						Mix:          mixNames(mix),
+						Controller:   key,
+						Scale:        rr.scaleName,
+						Seed:         uint64(mix.ID),
+						DRAMMTps:     sys.mtps,
+						DRAMChannels: sys.channels,
+					})
+				}
+			}
+		}
+	}
+
+	results, err := rr.runSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	means := make(map[bucket]*meanCell)
+	for idx, res := range results {
+		b := groups[idx]
+		if means[b] == nil {
+			means[b] = &meanCell{}
+		}
+		means[b].add(res)
+	}
+
+	rep := &experiment.BandwidthReport{}
+	for _, sys := range systems {
+		d := dram.DDR4(sys.mtps, sys.channels)
+		for _, n := range coreCounts {
+			banditWS := means[bucket{sys, n, "bandit"}].meanWS()
+			for _, key := range []string{"mumama", "pythia"} {
+				rep.Points = append(rep.Points, experiment.BandwidthPoint{
+					DRAMName:   d.Name,
+					PeakGBps:   d.PeakGBps(),
+					Cores:      n,
+					Controller: key,
+					NormWS:     normPct(means[bucket{sys, n, key}].meanWS(), banditWS),
+				})
+			}
+		}
+	}
+	sort.Slice(rep.Points, func(i, j int) bool {
+		a, b := rep.Points[i], rep.Points[j]
+		if a.Controller != b.Controller {
+			return a.Controller < b.Controller
+		}
+		if a.Cores != b.Cores {
+			return a.Cores < b.Cores
+		}
+		return a.PeakGBps < b.PeakGBps
+	})
+	return rep, nil
+}
+
+// fig13 reproduces Figures 13a/13b (unfairness and harmonic speedup)
+// as a single sweep over 4/8 cores × all six controllers × the scale's
+// sampled mixes on the default memory system.
+func (rr *remoteRunner) fig13() (*experiment.FairnessReport, error) {
+	coreCounts := []int{4, 8}
+	rep := &experiment.FairnessReport{
+		CoreCounts:  coreCounts,
+		Controllers: []string{"no", "bandit", "bingo", "pythia", "mumama", "mumama-fair"},
+		Unfairness:  map[int]map[string]float64{},
+		NormHS:      map[int]map[string]float64{},
+	}
+
+	type bucket struct {
+		cores      int
+		controller string
+	}
+	spec := sweep.Spec{Name: "fig13-" + rr.scaleName}
+	groups := make(map[int]bucket)
+	for _, n := range coreCounts {
+		mixes := workload.Mixes(n, rr.scale.MixCount, rr.scale.Seed)
+		for _, key := range rep.Controllers {
+			for _, mix := range mixes {
+				groups[len(spec.Cells)] = bucket{n, key}
+				spec.Cells = append(spec.Cells, sweep.Cell{
+					Mix:        mixNames(mix),
+					Controller: key,
+					Scale:      rr.scaleName,
+					Seed:       uint64(mix.ID),
+				})
+			}
+		}
+	}
+
+	results, err := rr.runSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	means := make(map[bucket]*meanCell)
+	for idx, res := range results {
+		b := groups[idx]
+		if means[b] == nil {
+			means[b] = &meanCell{}
+		}
+		means[b].add(res)
+	}
+
+	for _, n := range coreCounts {
+		rep.Unfairness[n] = map[string]float64{}
+		rep.NormHS[n] = map[string]float64{}
+		banditHS := means[bucket{n, "bandit"}].meanHS()
+		for _, key := range rep.Controllers {
+			m := means[bucket{n, key}]
+			rep.Unfairness[n][key] = m.meanUnfairness()
+			rep.NormHS[n][key] = normPct(m.meanHS(), banditHS)
+		}
+	}
+	return rep, nil
+}

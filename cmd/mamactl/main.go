@@ -8,6 +8,7 @@
 //	mamactl status <job-id>
 //	mamactl result <job-id>
 //	mamactl wait <job-id>
+//	mamactl sweep submit|status|list|watch|results ...  (see sweep.go)
 //	mamactl stats
 //	mamactl catalog
 //
@@ -71,6 +72,8 @@ func main() {
 		err = cmdGet(ctx, c, args[1:], "/v1/jobs/%s/result")
 	case "wait":
 		err = cmdWait(ctx, c, args[1:])
+	case "sweep":
+		err = cmdSweep(ctx, c, args[1:])
 	case "stats":
 		err = getJSON(ctx, c, "/v1/stats")
 	case "catalog":
@@ -89,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mamactl [-addr url] [-timeout d] [-retries n] [-deadline d] submit|status|result|wait|stats|catalog ...")
+	fmt.Fprintln(os.Stderr, "usage: mamactl [-addr url] [-timeout d] [-retries n] [-deadline d] submit|status|result|wait|sweep|stats|catalog ...")
 	os.Exit(2)
 }
 

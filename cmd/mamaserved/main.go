@@ -11,6 +11,10 @@
 //	POST /v1/jobs                submit a job (JSON spec)
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/result    metrics (202 until finished)
+//	POST /v1/sweeps              submit an experiment sweep (grid and/or cells)
+//	GET  /v1/sweeps              list sweeps
+//	GET  /v1/sweeps/{id}         sweep status
+//	GET  /v1/sweeps/{id}/results stream cell results (NDJSON or SSE, cursor resume)
 //	GET  /v1/stats               service counters
 //	GET  /v1/catalog             traces, controllers, scales
 //	GET  /metrics                Prometheus text-format telemetry
@@ -22,7 +26,9 @@
 // refused with 503 + Retry-After, in-flight and queued jobs finish (up
 // to -drain-timeout, then they are cancelled), and with -cache-dir the
 // result cache is flushed so a restarted process serves previously
-// completed specs as cache hits.
+// completed specs as cache hits. Incomplete sweeps persist alongside
+// the cache and resume after restart without recomputing finished
+// cells.
 package main
 
 import (
@@ -49,6 +55,7 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "default per-job timeout")
 		maxTimeout = flag.Duration("max-timeout", 30*time.Minute, "upper bound on client-requested timeouts")
 		maxCores   = flag.Int("max-cores", 16, "largest mix a job may request")
+		maxCells   = flag.Int("max-sweep-cells", 0, "largest expansion a single sweep may request (0 = 4096)")
 		traceCache = flag.String("trace-cache", "", "directory of MMT1 trace files (from tracegen) preloaded into the shared trace pool; cached traces loop at their recorded length")
 		cacheDir   = flag.String("cache-dir", "", "directory for crash-safe result-cache persistence (restored on startup; corrupt entries quarantined)")
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs before cancelling them")
@@ -73,6 +80,7 @@ func main() {
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxCores:       *maxCores,
+		MaxSweepCells:  *maxCells,
 		CacheDir:       *cacheDir,
 		Logger:         logger,
 	})

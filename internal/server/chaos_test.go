@@ -34,6 +34,9 @@ func TestFaultSiteCoverage(t *testing.T) {
 		"server/http/submit-500",
 		"server/cache/persist-write",
 		"server/cache/persist-read",
+		"server/sweep/persist-write",
+		"server/sweep/persist-read",
+		"server/sweep/worker-kill",
 	}
 	registered := make(map[string]bool)
 	for _, name := range faultinject.Sites() {

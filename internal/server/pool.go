@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"micromama/internal/faultinject"
+	"micromama/internal/sweep"
 	"micromama/internal/telemetry"
 )
 
@@ -135,10 +136,19 @@ func (j *job) resultSnapshot() (JobResult, bool) {
 // queueing and timeout behaviour deterministic.
 type runFunc func(ctx context.Context, spec JobSpec) (JobResult, error)
 
-// pool is the worker side of the service: n goroutines draining the
-// queue, each executing one job at a time under a per-job timeout
-// derived from the job spec. Cancellation reaches the simulator at
-// epoch granularity through sim.System.RunContext.
+// pool is the worker side of the service: n goroutines drawing work
+// from two sources — the interactive job queue and the sweep manager —
+// each executing one job at a time under a per-job timeout derived
+// from the job spec. Cancellation reaches the simulator at epoch
+// granularity through sim.System.RunContext.
+//
+// Scheduling between the sources is strict priority: a worker always
+// takes an interactive job when one is queued, and only otherwise asks
+// the sweep manager for a cell (which the manager hands out under
+// weighted round-robin across sweeps). With W workers and an
+// interactive arrival while all workers are busy, the job waits at
+// most one cell execution — a giant sweep cannot starve POST /v1/jobs
+// traffic beyond that bound.
 type pool struct {
 	run      runFunc
 	baseCtx  context.Context
@@ -146,25 +156,79 @@ type pool struct {
 	m        *serverMetrics
 	log      *slog.Logger
 	wg       sync.WaitGroup
+
+	// Sweep dispatch: mgr hands out cells; cellJob materializes a cell
+	// into a registry-visible job; cellDone returns the outcome.
+	mgr      *sweep.Manager
+	cellJob  func(sweep.Ticket) *job
+	cellDone func(sweep.Ticket, JobResult, error)
 }
 
-// start launches n workers draining q. Workers exit when q is closed
-// and drained; pending jobs observe the base context's cancellation
-// and fail fast during shutdown.
+// start launches n workers. Workers exit when q is closed and drained
+// (beginDrain stops sweep dispatch at the same time); pending jobs
+// observe the base context's cancellation and fail fast during
+// shutdown.
 func (p *pool) start(n int, q *queue) {
 	for i := 0; i < n; i++ {
 		worker := i
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			for j := range q.jobs() {
-				p.execute(worker, j)
-			}
+			p.drainLoop(worker, q)
 		}()
 	}
 }
 
-func (p *pool) execute(worker int, j *job) {
+// drainLoop is one worker's life: interactive jobs first (non-blocking
+// check), then a sweep cell, then block until either source produces
+// work. A closed-and-drained interactive queue ends the worker — drain
+// closes the queue and the sweep manager together, so no sweep work
+// remains dispatchable by then.
+func (p *pool) drainLoop(worker int, q *queue) {
+	for {
+		select {
+		case j, open := <-q.jobs():
+			if !open {
+				return
+			}
+			p.execute(worker, j)
+			continue
+		default:
+		}
+		if t, ok := p.mgr.TryDequeue(); ok {
+			p.executeCell(worker, t)
+			continue
+		}
+		select {
+		case j, open := <-q.jobs():
+			if !open {
+				return
+			}
+			p.execute(worker, j)
+		case <-p.mgr.WakeCh():
+		}
+	}
+}
+
+// executeCell runs one sweep cell through the same execution path as an
+// interactive job (registry entry, panic isolation, metrics) and
+// reports the outcome back to the sweep manager.
+func (p *pool) executeCell(worker int, t sweep.Ticket) {
+	if faultSweepWorkerKill.Fire() {
+		// Simulate the worker dying mid-cell: the run never happens and
+		// the outcome is lost, exactly as if the process were killed. The
+		// manager treats it as transient and the cell returns to pending.
+		p.log.Warn("sweep cell abandoned: injected worker death",
+			"sweep", t.SweepID, "cell", t.Index, "worker", worker)
+		p.cellDone(t, JobResult{}, errWorkerKilled)
+		return
+	}
+	j := p.cellJob(t)
+	res, err := p.execute(worker, j)
+	p.cellDone(t, res, err)
+}
+
+func (p *pool) execute(worker int, j *job) (JobResult, error) {
 	wait := j.markRunning()
 	p.m.waitSeconds.Observe(wait.Seconds())
 	p.m.workersBusy.Add(1)
@@ -190,6 +254,7 @@ func (p *pool) execute(worker int, j *job) {
 			"ms", run.Milliseconds())
 	}
 	p.onFinish(j, res, err)
+	return res, err
 }
 
 // runIsolated executes one job with panic isolation: a panic anywhere

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"micromama/internal/experiment"
 	"micromama/internal/faultinject"
 	"micromama/internal/sim"
+	"micromama/internal/sweep"
 	"micromama/internal/telemetry"
 	"micromama/internal/trace"
 	"micromama/internal/workload"
@@ -60,6 +62,8 @@ type Config struct {
 	// IDs (see internal/telemetry field conventions). nil discards them;
 	// cmd/mamaserved always sets one.
 	Logger *slog.Logger
+	// MaxSweepCells bounds a single sweep's expansion (default 4096).
+	MaxSweepCells int
 	// Run overrides the execution function (tests only); nil runs real
 	// simulations through a shared experiment.Runner per scale.
 	Run runFunc
@@ -111,6 +115,10 @@ type Server struct {
 	// persist mirrors the result cache to disk; nil without CacheDir.
 	persist *persister
 
+	// sweeps orchestrates multi-cell experiment sweeps over the same
+	// worker pool (see internal/sweep); always non-nil.
+	sweeps *sweep.Manager
+
 	// draining is set (under mu) when shutdown begins: submissions are
 	// refused with 503 and /readyz reports not-ready. drainOnce closes
 	// the queue exactly once; the mu ordering guarantees no tryPush can
@@ -149,6 +157,25 @@ func New(cfg Config) (*Server, error) {
 		p.start()
 		s.persist = p
 	}
+	// The sweep manager loads after the result cache (its resume pass
+	// reconciles persisted cell statuses against restored results) and
+	// before the pool starts (workers pull cells from it immediately).
+	sweepDir := ""
+	if cfg.CacheDir != "" {
+		sweepDir = filepath.Join(cfg.CacheDir, "sweeps")
+	}
+	mgr, err := sweep.New(sweep.Config{
+		Exec:     sweepExec{s},
+		MaxCells: cfg.MaxSweepCells,
+		Dir:      sweepDir,
+		Registry: s.reg,
+		Logger:   s.log,
+	})
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.sweeps = mgr
 	// Touch the shared trace pool so its mama_trace_pool_* series are
 	// registered on the default registry (and thus visible on /metrics)
 	// before the first job materializes a trace.
@@ -157,7 +184,10 @@ func New(cfg Config) (*Server, error) {
 	if run == nil {
 		run = s.simulate
 	}
-	s.pool = &pool{run: run, baseCtx: ctx, onFinish: s.finishJob, m: s.metrics, log: s.log}
+	s.pool = &pool{
+		run: run, baseCtx: ctx, onFinish: s.finishJob, m: s.metrics, log: s.log,
+		mgr: mgr, cellJob: s.cellJob, cellDone: s.cellDone,
+	}
 	s.pool.start(cfg.Workers, s.q)
 	return s, nil
 }
@@ -180,6 +210,10 @@ func (s *Server) beginDrain() {
 		s.draining.Store(true)
 		s.mu.Unlock()
 		s.q.close()
+		// Sweep dispatch stops with the queue: workers finish what they
+		// hold (cancelled cells revert to pending and re-run after
+		// restart) and result streams hand clients their resume cursor.
+		s.sweeps.Drain()
 		s.log.Info("drain started", "queued", s.q.depth())
 	})
 }
@@ -211,6 +245,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.persist != nil {
 		s.persist.close()
 	}
+	// The sweep store closes only after the workers are gone, so the
+	// final CellDone mutations (including transient reverts to pending)
+	// reach disk and the next process resumes from exact state.
+	s.sweeps.CloseStore()
 	s.log.Info("drain complete", "err", err)
 	return err
 }
@@ -225,6 +263,7 @@ func (s *Server) Close() {
 	if s.persist != nil {
 		s.persist.close()
 	}
+	s.sweeps.CloseStore()
 }
 
 // plan is a fully resolved job: the canonical config, scale, and mix
@@ -363,6 +402,17 @@ func (s *Server) finishJob(j *job, res JobResult, err error) {
 		}
 	}
 	j.finish(res, err)
+	// Resolve sweep cells parked on this key (an interactive run of the
+	// same content address): success dedupes them, failure sends them
+	// back to their queues for their own attempt. Keys the sweep manager
+	// dispatched itself are ignored here — cellDone covers those.
+	if err == nil {
+		if raw, merr := json.Marshal(res); merr == nil {
+			s.sweeps.OnResult(j.key, raw, "")
+		}
+	} else {
+		s.sweeps.OnResult(j.key, nil, err.Error())
+	}
 }
 
 // submit admits one job: cache hit → done immediately; identical job
@@ -484,6 +534,7 @@ func (s *Server) Stats() Stats {
 		Draining:         s.isDraining(),
 		CacheLoaded:      m.persistLoaded.Value(),
 		CacheQuarantined: m.persistQuarantined.Value(),
+		Sweeps:           s.sweeps.Counts(),
 	}
 }
 
@@ -495,6 +546,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"micromama/internal/faultinject"
+	"micromama/internal/sweep"
+	"micromama/internal/telemetry"
+)
+
+// faultSweepWorkerKill simulates a worker dying while holding a sweep
+// cell: the dispatched run is abandoned before it starts and its
+// outcome is lost. The sweep manager classifies it as transient, so
+// the cell returns to pending — the same path a real crash exercises
+// through persistence and resume.
+var faultSweepWorkerKill = faultinject.New("server/sweep/worker-kill")
+
+// errWorkerKilled marks an abandoned cell run (see
+// faultSweepWorkerKill); the sweep manager re-queues rather than fails
+// these.
+var errWorkerKilled = errors.New("worker killed mid-cell (injected fault)")
+
+// specFromCell maps a sweep cell onto the interactive job spec it is
+// equivalent to. The mapping is field-for-field, which is what makes a
+// sweep cell and a POST /v1/jobs submission of the same parameters hash
+// to the same content address — the whole dedupe story rests on it.
+func specFromCell(c sweep.Cell) JobSpec {
+	return JobSpec{
+		Mix:          c.Mix,
+		Controller:   c.Controller,
+		Scale:        c.Scale,
+		Seed:         c.Seed,
+		Target:       c.Target,
+		Step:         c.Step,
+		DRAMMTps:     c.DRAMMTps,
+		DRAMChannels: c.DRAMChannels,
+	}
+}
+
+// sweepExec adapts the Server into the sweep manager's execution
+// backend: cell resolution through the canonical job hash, result
+// lookups against the content-addressed cache, and inflight checks
+// against the job registry.
+type sweepExec struct{ s *Server }
+
+func (e sweepExec) ResolveCell(c sweep.Cell) (string, error) {
+	p, err := e.s.resolve(specFromCell(c))
+	if err != nil {
+		return "", err
+	}
+	return p.key, nil
+}
+
+func (e sweepExec) CachedResult(key string) (json.RawMessage, bool) {
+	res, ok := e.s.cache.get(key)
+	if !ok {
+		return nil, false
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return nil, false
+	}
+	return raw, true
+}
+
+func (e sweepExec) InflightKey(key string) bool {
+	j, ok := e.s.jobByID(jobID(key))
+	if !ok {
+		return false
+	}
+	st := j.currentStatus()
+	return st == StatusQueued || st == StatusRunning
+}
+
+// cellJob materializes a dispatched sweep cell as a registry-visible
+// job, so GET /v1/jobs/{id} works on sweep work and interactive
+// submissions of the same spec coalesce onto it instead of re-running.
+func (s *Server) cellJob(t sweep.Ticket) *job {
+	spec := specFromCell(t.Cell)
+	spec.TimeoutMs = t.TimeoutMs
+	spec.normalize()
+	timeout := s.cfg.DefaultTimeout
+	if t.TimeoutMs > 0 {
+		timeout = time.Duration(t.TimeoutMs) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	id := jobID(t.Key)
+	j := newJob(id, t.Key, spec, timeout, telemetry.NewRequestID(id))
+	s.mu.Lock()
+	if existing, ok := s.jobs[id]; !ok ||
+		existing.currentStatus() == StatusDone || existing.currentStatus() == StatusFailed {
+		s.jobs[id] = j
+	}
+	s.mu.Unlock()
+	return j
+}
+
+// cellDone reports a cell's outcome to the sweep manager. Shutdown
+// cancellation and injected worker death are transient — the cell
+// returns to pending and re-runs (after restart, for drain) — while
+// timeouts and simulation errors fail the cell.
+func (s *Server) cellDone(t sweep.Ticket, res JobResult, err error) {
+	if err == nil {
+		raw, merr := json.Marshal(res)
+		if merr == nil {
+			s.sweeps.CellDone(t, raw, "", false)
+			return
+		}
+		err = fmt.Errorf("encode result: %w", merr)
+	}
+	transient := errors.Is(err, context.Canceled) || errors.Is(err, errWorkerKilled)
+	s.sweeps.CellDone(t, nil, err.Error(), transient)
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: "server is draining; retry against a healthy instance"})
+		return
+	}
+	var spec sweep.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad sweep spec: " + err.Error()})
+		return
+	}
+	view, created, err := s.sweeps.Submit(spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Sweeps []sweep.View `json:"sweeps"`
+	}{s.sweeps.List()})
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.sweeps.View(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown sweep"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// sweepEnd is the terminal line of a result stream: the sweep's final
+// view (or its state at client-cancel/drain time, when status is still
+// "running" — reconnect with ?cursor= to resume).
+type sweepEnd struct {
+	End   bool       `json:"end"`
+	Sweep sweep.View `json:"sweep"`
+}
+
+// handleSweepResults streams a sweep's event log incrementally.
+//
+//	GET /v1/sweeps/{id}/results?cursor=N&follow=0|1
+//
+// Default framing is NDJSON — one Event object per line, then one
+// {"end":true,"sweep":…} line. With Accept: text/event-stream the same
+// payloads go out as SSE (`id:` carries the cursor, the terminal frame
+// is `event: end`). cursor resumes after the N'th event; delivery is
+// at-least-once across server restarts, so consumers dedupe on the
+// event's cell index. follow=0 dumps what exists and ends immediately.
+func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	cursor, _ := strconv.Atoi(r.URL.Query().Get("cursor"))
+	follow := r.URL.Query().Get("follow") != "0"
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+
+	events, view, changed, ok := s.sweeps.EventsSince(id, cursor)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown sweep"})
+		return
+	}
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	flush := func() {
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+	writeEvent := func(ev sweep.Event) {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if sse {
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, b)
+		} else {
+			fmt.Fprintf(w, "%s\n", b)
+		}
+	}
+	writeEnd := func(v sweep.View) {
+		b, err := json.Marshal(sweepEnd{End: true, Sweep: v})
+		if err != nil {
+			return
+		}
+		if sse {
+			fmt.Fprintf(w, "event: end\ndata: %s\n\n", b)
+		} else {
+			fmt.Fprintf(w, "%s\n", b)
+		}
+		flush()
+	}
+
+	for {
+		for _, ev := range events {
+			writeEvent(ev)
+			cursor = ev.Seq + 1
+		}
+		flush()
+		if view.Status == "done" || !follow {
+			writeEnd(view)
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		case <-s.sweeps.DrainCh():
+			// Shutdown: hand the client its resume point; whatever is
+			// still pending completes on the restarted server.
+			events, view, _, ok = s.sweeps.EventsSince(id, cursor)
+			if ok {
+				for _, ev := range events {
+					writeEvent(ev)
+				}
+				writeEnd(view)
+			}
+			return
+		}
+		events, view, changed, ok = s.sweeps.EventsSince(id, cursor)
+		if !ok {
+			return
+		}
+	}
+}

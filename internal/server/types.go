@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"micromama/internal/experiment"
+	"micromama/internal/sweep"
 	"micromama/internal/workload"
 )
 
@@ -169,4 +170,6 @@ type Stats struct {
 	Draining         bool   `json:"draining"`          // shutdown in progress; submits get 503
 	CacheLoaded      uint64 `json:"cache_loaded"`      // entries restored from -cache-dir at startup
 	CacheQuarantined uint64 `json:"cache_quarantined"` // corrupt cache files quarantined at startup
+	// Sweep orchestration (see internal/sweep).
+	Sweeps sweep.Counts `json:"sweeps"`
 }

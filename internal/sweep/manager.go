@@ -1,0 +1,776 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"micromama/internal/telemetry"
+)
+
+// Exec is what the manager needs from its execution backend (the
+// server): canonical cell resolution — validation plus the
+// content-addressed job key — and result-cache lookups. Abstracting
+// these two calls keeps internal/sweep free of the server's types (the
+// server imports sweep, not the reverse).
+type Exec interface {
+	// ResolveCell validates a cell and returns its content-addressed job
+	// key. The error, if any, is a client error (bad trace name, too many
+	// cores, unknown controller).
+	ResolveCell(c Cell) (key string, err error)
+	// CachedResult returns the cached result for a job key, encoded as
+	// the API's JSON result object.
+	CachedResult(key string) (json.RawMessage, bool)
+	// InflightKey reports whether the backend is already running (or has
+	// queued) an interactive job with this key. Cells for such keys park
+	// instead of dispatching a duplicate simulation; the backend reports
+	// the outcome through OnResult.
+	InflightKey(key string) bool
+}
+
+// Config tunes a Manager. Zero values select defaults.
+type Config struct {
+	// Exec is the execution backend. Required.
+	Exec Exec
+	// MaxCells bounds a single sweep's expansion (default 4096).
+	MaxCells int
+	// MaxPriority clamps per-sweep priorities (default 8).
+	MaxPriority int
+	// Dir, when non-empty, persists sweep state (one JSON file per
+	// sweep) so a restarted server resumes incomplete sweeps.
+	Dir string
+	// Registry receives the mama_server_sweep_* instruments; nil uses a
+	// private throwaway registry (tests).
+	Registry *telemetry.Registry
+	// Logger receives sweep lifecycle logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Ticket is one dispatched cell: the manager's claim check that the
+// executing worker returns through CellDone.
+type Ticket struct {
+	SweepID   string
+	Index     int
+	Cell      Cell
+	Key       string
+	TimeoutMs int64
+}
+
+// cellRef names one cell of one sweep.
+type cellRef struct {
+	sweep string
+	index int
+}
+
+// state is the in-memory authority for one sweep.
+type state struct {
+	id        string
+	spec      Spec // normalized; includes priority for persistence
+	priority  int
+	cells     []Cell
+	keys      []string
+	status    []CellStatus
+	errors    map[int]string
+	events    []Event
+	createdAt time.Time
+	finished  time.Time // zero while cells remain
+
+	running int
+	done    int
+	failed  int
+	deduped int
+}
+
+func (st *state) terminalCount() int { return st.done + st.failed + st.deduped }
+
+func (st *state) pendingCount() int {
+	return len(st.cells) - st.running - st.terminalCount()
+}
+
+func (st *state) view() View {
+	v := View{
+		ID:        st.id,
+		Name:      st.spec.Name,
+		Status:    "running",
+		Priority:  st.priority,
+		Cells:     len(st.cells),
+		Pending:   st.pendingCount(),
+		Running:   st.running,
+		Done:      st.done,
+		Failed:    st.failed,
+		Deduped:   st.deduped,
+		Events:    len(st.events),
+		CreatedAt: st.createdAt,
+	}
+	if !st.finished.IsZero() {
+		t := st.finished
+		v.FinishedAt = &t
+		v.Status = "done"
+	}
+	return v
+}
+
+// metrics is the mama_server_sweep_* instrument set.
+type metrics struct {
+	submitted     *telemetry.Counter
+	resumed       *telemetry.Counter
+	cellsExpanded *telemetry.Counter
+	cellsDeduped  *telemetry.Counter
+	cellsDone     *telemetry.Counter
+	cellsFailed   *telemetry.Counter
+	store         storeMetrics
+}
+
+func newMetrics(r *telemetry.Registry, mgr *Manager) *metrics {
+	m := &metrics{
+		submitted: r.Counter("mama_server_sweeps_submitted_total",
+			"Sweeps accepted at POST /v1/sweeps (excluding idempotent re-submissions)."),
+		resumed: r.Counter("mama_server_sweeps_resumed_total",
+			"Incomplete sweeps restored from disk at startup."),
+		cellsExpanded: r.Counter("mama_server_sweep_cells_expanded_total",
+			"Cells produced by sweep expansion."),
+		cellsDeduped: r.Counter("mama_server_sweep_cells_deduped_total",
+			"Sweep cells completed without running (result cache or an identical run)."),
+		cellsDone: r.Counter("mama_server_sweep_cells_completed_total",
+			"Sweep cells that ran to a successful result."),
+		cellsFailed: r.Counter("mama_server_sweep_cells_failed_total",
+			"Sweep cells that finished with an error."),
+		store: storeMetrics{
+			writes: r.Counter("mama_server_sweep_persist_writes_total",
+				"Sweep records durably written to the sweep dir."),
+			errors: r.Counter("mama_server_sweep_persist_errors_total",
+				"Sweep record writes that failed."),
+			loaded: r.Counter("mama_server_sweep_persist_loaded_total",
+				"Sweep records restored from the sweep dir at startup."),
+			quarantined: r.Counter("mama_server_sweep_persist_quarantined_total",
+				"Corrupt or unreadable sweep records quarantined at startup."),
+		},
+	}
+	r.GaugeFunc("mama_server_sweeps_active",
+		"Sweeps with cells still pending or running.",
+		func() float64 { return float64(mgr.activeCount()) })
+	r.GaugeFunc("mama_server_sweep_cells_pending",
+		"Sweep cells waiting for dispatch across all sweeps.",
+		func() float64 { c := mgr.Counts(); return float64(c.CellsPending) })
+	return m
+}
+
+// Counts is the sweep block of /v1/stats.
+type Counts struct {
+	Active       int    `json:"sweeps_active"`
+	Total        int    `json:"sweeps_tracked"`
+	Submitted    uint64 `json:"sweeps_submitted"`
+	Resumed      uint64 `json:"sweeps_resumed"`
+	CellsPending int    `json:"sweep_cells_pending"`
+	CellsRunning int    `json:"sweep_cells_running"`
+	CellsDone    uint64 `json:"sweep_cells_completed"`
+	CellsDeduped uint64 `json:"sweep_cells_deduped"`
+	CellsFailed  uint64 `json:"sweep_cells_failed"`
+}
+
+// Manager owns every sweep: admission (expansion, dedupe against the
+// result cache), the weighted-fair pending queues, the per-sweep event
+// logs that streams read, and the crash-safe store. All mutation is
+// serialized under mu; dispatch is pull-based (the server's dispatcher
+// calls TryDequeue when a worker is free, woken through WakeCh).
+type Manager struct {
+	exec        Exec
+	maxCells    int
+	maxPriority int
+	log         *slog.Logger
+	reg         *telemetry.Registry
+	m           *metrics
+
+	mu       sync.Mutex
+	sweeps   map[string]*state
+	sched    *sched
+	inflight map[string]cellRef   // job key → the cell currently dispatched for it
+	parked   map[string][]cellRef // job key → pending cells waiting on that dispatch
+	notify   chan struct{}        // closed and replaced whenever any event log grows
+	draining bool
+
+	wake    chan struct{} // cap 1; pokes the server's dispatcher
+	drainCh chan struct{} // closed once Drain begins; ends follow-streams
+
+	store *store // nil without Config.Dir
+}
+
+// New builds a Manager and, when Config.Dir is set, restores persisted
+// sweeps: finished cells whose results survive in the result cache stay
+// finished; cells that were running (or whose results were lost) return
+// to pending and are re-dispatched.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Exec == nil {
+		return nil, fmt.Errorf("sweep: Config.Exec is required")
+	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = 4096
+	}
+	if cfg.MaxPriority <= 0 {
+		cfg.MaxPriority = 8
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	mgr := &Manager{
+		exec:        cfg.Exec,
+		maxCells:    cfg.MaxCells,
+		maxPriority: cfg.MaxPriority,
+		log:         cfg.Logger,
+		reg:         cfg.Registry,
+		sweeps:      make(map[string]*state),
+		sched:       newSched(),
+		inflight:    make(map[string]cellRef),
+		parked:      make(map[string][]cellRef),
+		notify:      make(chan struct{}),
+		wake:        make(chan struct{}, 1),
+		drainCh:     make(chan struct{}),
+	}
+	mgr.m = newMetrics(cfg.Registry, mgr)
+	if cfg.Dir != "" {
+		st, err := newStore(cfg.Dir, mgr.m.store, cfg.Logger)
+		if err != nil {
+			return nil, err
+		}
+		mgr.store = st
+		for _, rec := range st.load() {
+			mgr.resume(rec)
+		}
+	}
+	return mgr, nil
+}
+
+// clampPriority normalizes a requested priority into [1, MaxPriority].
+func (mgr *Manager) clampPriority(p int) int {
+	if p < 1 {
+		return 1
+	}
+	if p > mgr.maxPriority {
+		return mgr.maxPriority
+	}
+	return p
+}
+
+// Submit admits a sweep: expansion, content addressing, cache dedupe,
+// and scheduling. Resubmitting an identical spec attaches to the
+// existing sweep (created=false) and only updates its priority —
+// submission is idempotent by construction, which is what lets clients
+// blindly retry over flaky links. Errors are client errors.
+func (mgr *Manager) Submit(spec Spec) (View, bool, error) {
+	cells, err := spec.Expand(mgr.maxCells)
+	if err != nil {
+		return View{}, false, err
+	}
+	id, err := spec.ID()
+	if err != nil {
+		return View{}, false, err
+	}
+	// Resolve every cell before taking any state: a sweep with one bad
+	// cell is rejected whole, so a partially admitted sweep never exists.
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		key, err := mgr.exec.ResolveCell(c)
+		if err != nil {
+			return View{}, false, fmt.Errorf("cell %d: %w", i, err)
+		}
+		keys[i] = key
+	}
+	priority := mgr.clampPriority(spec.Priority)
+	spec.Priority = priority
+
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	if mgr.draining {
+		return View{}, false, fmt.Errorf("server is draining; retry against a healthy instance")
+	}
+	if st, ok := mgr.sweeps[id]; ok {
+		if st.priority != priority {
+			st.priority = priority
+			st.spec.Priority = priority
+			mgr.sched.add(id, priority)
+			mgr.saveLocked(st)
+		}
+		return st.view(), false, nil
+	}
+
+	st := &state{
+		id:        id,
+		spec:      spec,
+		priority:  priority,
+		cells:     cells,
+		keys:      keys,
+		status:    make([]CellStatus, len(cells)),
+		errors:    make(map[int]string),
+		createdAt: time.Now().UTC(),
+	}
+	for i := range st.status {
+		st.status[i] = CellPending
+	}
+	mgr.sweeps[id] = st
+	mgr.m.submitted.Inc()
+	mgr.m.cellsExpanded.Add(uint64(len(cells)))
+	mgr.registerDepthGauge(id)
+
+	// Dedupe against the warm cache at admission: anything already
+	// simulated completes immediately without touching the scheduler.
+	mgr.sched.add(id, priority)
+	enqueued := 0
+	for i, key := range keys {
+		if raw, ok := mgr.exec.CachedResult(key); ok {
+			mgr.completeLocked(st, i, CellDeduped, raw, "")
+			continue
+		}
+		mgr.sched.push(id, i)
+		enqueued++
+	}
+	if st.pendingCount() == 0 && st.running == 0 {
+		mgr.finishIfDoneLocked(st)
+	}
+	mgr.saveLocked(st)
+	mgr.log.Info("sweep submitted", "sweep", id, "name", spec.Name,
+		"cells", len(cells), "deduped", st.deduped, "enqueued", enqueued,
+		"priority", priority)
+	mgr.pokeLocked()
+	mgr.broadcastLocked()
+	return st.view(), true, nil
+}
+
+// resume restores one persisted sweep. The spec re-expands
+// deterministically; stored statuses are reconciled against the
+// restored result cache: done/deduped cells keep their status only if
+// the cached result is still present (otherwise they re-run), running
+// cells return to pending (the process died under them), failed cells
+// stay failed with their stored error.
+func (mgr *Manager) resume(rec record) {
+	spec := rec.Spec
+	cells, err := spec.Expand(mgr.maxCells)
+	if err != nil {
+		mgr.log.Error("persisted sweep no longer expands; dropping", "sweep", rec.ID, "err", err)
+		return
+	}
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		key, rerr := mgr.exec.ResolveCell(c)
+		if rerr != nil {
+			mgr.log.Error("persisted sweep no longer resolves; dropping",
+				"sweep", rec.ID, "cell", i, "err", rerr)
+			return
+		}
+		keys[i] = key
+	}
+	priority := mgr.clampPriority(spec.Priority)
+	st := &state{
+		id:        rec.ID,
+		spec:      spec,
+		priority:  priority,
+		cells:     cells,
+		keys:      keys,
+		status:    make([]CellStatus, len(cells)),
+		errors:    make(map[int]string),
+		createdAt: rec.CreatedAt,
+	}
+
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	mgr.sweeps[st.id] = st
+	mgr.m.resumed.Inc()
+	mgr.registerDepthGauge(st.id)
+	mgr.sched.add(st.id, priority)
+	pending := 0
+	for i := range cells {
+		prev := CellPending
+		if i < len(rec.Status) {
+			prev = rec.Status[i]
+		}
+		switch prev {
+		case CellDone, CellDeduped:
+			if raw, ok := mgr.exec.CachedResult(keys[i]); ok {
+				mgr.completeLocked(st, i, prev, raw, "")
+				continue
+			}
+			// The result was lost (cache file quarantined or the cache dir
+			// changed): re-run rather than lie.
+		case CellFailed:
+			mgr.completeLocked(st, i, CellFailed, nil, rec.Errors[i])
+			continue
+		}
+		st.status[i] = CellPending
+		mgr.sched.push(st.id, i)
+		pending++
+	}
+	if pending == 0 && st.running == 0 {
+		mgr.finishIfDoneLocked(st)
+	}
+	mgr.saveLocked(st)
+	mgr.log.Info("sweep resumed", "sweep", st.id, "name", st.spec.Name,
+		"cells", len(cells), "finished", st.terminalCount(), "pending", pending)
+	mgr.pokeLocked()
+}
+
+// registerDepthGauge exposes this sweep's live pending-queue depth as
+// mama_server_sweep_queue_depth{sweep="..."}. Registration is
+// idempotent; the series reads 0 once the sweep finishes.
+func (mgr *Manager) registerDepthGauge(id string) {
+	mgr.reg.GaugeFunc("mama_server_sweep_queue_depth",
+		"Cells waiting for dispatch, per sweep.",
+		func() float64 {
+			mgr.mu.Lock()
+			defer mgr.mu.Unlock()
+			st, ok := mgr.sweeps[id]
+			if !ok {
+				return 0
+			}
+			return float64(st.pendingCount())
+		},
+		telemetry.L("sweep", id))
+}
+
+// TryDequeue hands the dispatcher the next cell under weighted round-
+// robin, or ok=false when nothing is dispatchable. Cells whose result
+// appeared in the cache since admission complete as deduped without
+// dispatch; cells whose key is already running (here or in another
+// sweep) park until that run finishes.
+func (mgr *Manager) TryDequeue() (Ticket, bool) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	if mgr.draining {
+		return Ticket{}, false
+	}
+	var dirty []*state
+	defer func() {
+		for _, st := range dirty {
+			mgr.saveLocked(st)
+		}
+		if len(dirty) > 0 {
+			mgr.broadcastLocked()
+		}
+	}()
+	for {
+		id, idx, ok := mgr.sched.pop()
+		if !ok {
+			return Ticket{}, false
+		}
+		st := mgr.sweeps[id]
+		if st == nil || st.status[idx] != CellPending {
+			// Completed while queued (deduped through a same-key run);
+			// lazily dropped here instead of being plucked mid-queue.
+			continue
+		}
+		key := st.keys[idx]
+		if raw, ok := mgr.exec.CachedResult(key); ok {
+			mgr.completeLocked(st, idx, CellDeduped, raw, "")
+			dirty = append(dirty, st)
+			continue
+		}
+		if _, running := mgr.inflight[key]; running || mgr.exec.InflightKey(key) {
+			mgr.parked[key] = append(mgr.parked[key], cellRef{id, idx})
+			continue
+		}
+		st.status[idx] = CellRunning
+		st.running++
+		mgr.inflight[key] = cellRef{id, idx}
+		// Cascade the wake: this call consumed at most one wake token but
+		// may leave more dispatchable cells behind it, and other workers
+		// may be blocked on the channel.
+		if mgr.sched.anyPending() {
+			mgr.pokeLocked()
+		}
+		return Ticket{
+			SweepID:   id,
+			Index:     idx,
+			Cell:      st.cells[idx],
+			Key:       key,
+			TimeoutMs: st.spec.TimeoutMs,
+		}, true
+	}
+}
+
+// OnResult lets the backend report an interactive job's outcome so
+// cells parked on its key resolve: a success completes them as deduped,
+// a failure returns them to their pending queues for their own run.
+// Keys the manager itself dispatched are ignored here — their parked
+// cells resolve in CellDone.
+func (mgr *Manager) OnResult(key string, raw json.RawMessage, errMsg string) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	if _, ours := mgr.inflight[key]; ours {
+		return
+	}
+	waiters := mgr.parked[key]
+	if len(waiters) == 0 {
+		return
+	}
+	delete(mgr.parked, key)
+	if errMsg == "" {
+		for _, ref := range waiters {
+			if st := mgr.sweeps[ref.sweep]; st != nil && st.status[ref.index] == CellPending {
+				mgr.completeLocked(st, ref.index, CellDeduped, raw, "")
+				mgr.saveLocked(st)
+			}
+		}
+	} else {
+		mgr.requeueLocked(waiters)
+		for _, ref := range waiters {
+			if st := mgr.sweeps[ref.sweep]; st != nil {
+				mgr.saveLocked(st)
+			}
+		}
+	}
+	mgr.pokeLocked()
+	mgr.broadcastLocked()
+}
+
+// CellDone returns a dispatched ticket with its outcome. A transient
+// error (shutdown cancellation, injected worker death) sends the cell
+// back to pending — it re-runs after restart or on the next dispatch —
+// while a real error finishes it as failed. Success also completes, as
+// deduped, every cell parked on the same key.
+func (mgr *Manager) CellDone(t Ticket, raw json.RawMessage, errMsg string, transient bool) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	st := mgr.sweeps[t.SweepID]
+	if st == nil || st.status[t.Index] != CellRunning {
+		return
+	}
+	delete(mgr.inflight, t.Key)
+	st.status[t.Index] = CellPending
+	st.running--
+	waiters := mgr.parked[t.Key]
+	delete(mgr.parked, t.Key)
+
+	switch {
+	case errMsg == "":
+		mgr.completeLocked(st, t.Index, CellDone, raw, "")
+		for _, ref := range waiters {
+			if wst := mgr.sweeps[ref.sweep]; wst != nil && wst.status[ref.index] == CellPending {
+				mgr.completeLocked(wst, ref.index, CellDeduped, raw, "")
+				mgr.saveLocked(wst)
+			}
+		}
+	case transient:
+		// Head of the queue, not the back: the cell already waited its
+		// turn once.
+		mgr.sched.add(st.id, st.priority)
+		mgr.sched.pushFront(st.id, t.Index)
+		mgr.requeueLocked(waiters)
+	default:
+		mgr.completeLocked(st, t.Index, CellFailed, nil, errMsg)
+		// Parked cells were never attempted; give each its own run.
+		mgr.requeueLocked(waiters)
+	}
+	mgr.saveLocked(st)
+	mgr.pokeLocked()
+	mgr.broadcastLocked()
+}
+
+// requeueLocked returns parked cells to their sweeps' pending queues.
+func (mgr *Manager) requeueLocked(refs []cellRef) {
+	for _, ref := range refs {
+		st := mgr.sweeps[ref.sweep]
+		if st == nil || st.status[ref.index] != CellPending {
+			continue
+		}
+		mgr.sched.add(st.id, st.priority)
+		mgr.sched.push(st.id, ref.index)
+	}
+}
+
+// completeLocked finishes one cell and appends its event.
+func (mgr *Manager) completeLocked(st *state, idx int, status CellStatus, raw json.RawMessage, errMsg string) {
+	st.status[idx] = status
+	switch status {
+	case CellDone:
+		st.done++
+		mgr.m.cellsDone.Inc()
+	case CellDeduped:
+		st.deduped++
+		mgr.m.cellsDeduped.Inc()
+	case CellFailed:
+		st.failed++
+		mgr.m.cellsFailed.Inc()
+		if errMsg != "" {
+			st.errors[idx] = errMsg
+		}
+	}
+	st.events = append(st.events, Event{
+		Seq:    len(st.events),
+		Cell:   idx,
+		Status: status,
+		Key:    st.keys[idx],
+		Spec:   st.cells[idx],
+		Result: raw,
+		Error:  errMsg,
+	})
+	mgr.finishIfDoneLocked(st)
+}
+
+// finishIfDoneLocked marks the sweep finished once every cell is
+// terminal and retires it from the scheduler ring.
+func (mgr *Manager) finishIfDoneLocked(st *state) {
+	if st.terminalCount() != len(st.cells) || !st.finished.IsZero() {
+		return
+	}
+	st.finished = time.Now().UTC()
+	mgr.sched.remove(st.id)
+	mgr.log.Info("sweep finished", "sweep", st.id, "name", st.spec.Name,
+		"done", st.done, "deduped", st.deduped, "failed", st.failed)
+}
+
+// saveLocked snapshots one sweep into the crash-safe store.
+func (mgr *Manager) saveLocked(st *state) {
+	if mgr.store == nil {
+		return
+	}
+	rec := record{
+		ID:        st.id,
+		Spec:      st.spec,
+		Status:    append([]CellStatus(nil), st.status...),
+		CreatedAt: st.createdAt,
+	}
+	if len(st.errors) > 0 {
+		rec.Errors = make(map[int]string, len(st.errors))
+		for i, e := range st.errors {
+			rec.Errors[i] = e
+		}
+	}
+	mgr.store.save(rec)
+}
+
+// pokeLocked wakes the dispatcher (non-blocking; the channel holds one
+// pending wake).
+func (mgr *Manager) pokeLocked() {
+	select {
+	case mgr.wake <- struct{}{}:
+	default:
+	}
+}
+
+// broadcastLocked signals every stream waiter that event logs may have
+// grown (close-and-replace; waiters re-check their cursor).
+func (mgr *Manager) broadcastLocked() {
+	close(mgr.notify)
+	mgr.notify = make(chan struct{})
+}
+
+// WakeCh pokes whenever new work may be dispatchable; the server's
+// dispatcher selects on it alongside the interactive queue.
+func (mgr *Manager) WakeCh() <-chan struct{} { return mgr.wake }
+
+// DrainCh is closed once Drain begins; result streams select on it so
+// followers terminate cleanly at shutdown.
+func (mgr *Manager) DrainCh() <-chan struct{} { return mgr.drainCh }
+
+// View returns one sweep's snapshot.
+func (mgr *Manager) View(id string) (View, bool) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	st, ok := mgr.sweeps[id]
+	if !ok {
+		return View{}, false
+	}
+	return st.view(), true
+}
+
+// List returns every tracked sweep, newest first.
+func (mgr *Manager) List() []View {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	out := make([]View, 0, len(mgr.sweeps))
+	for _, st := range mgr.sweeps {
+		out = append(out, st.view())
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].CreatedAt.After(out[i].CreatedAt) ||
+				(out[j].CreatedAt.Equal(out[i].CreatedAt) && out[j].ID < out[i].ID) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// EventsSince returns the sweep's events after cursor, the current view
+// (so callers can tell whether the log is final), and a channel that
+// closes when any event log grows (re-check the cursor then). ok=false
+// for an unknown sweep.
+func (mgr *Manager) EventsSince(id string, cursor int) (events []Event, v View, changed <-chan struct{}, ok bool) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	st, found := mgr.sweeps[id]
+	if !found {
+		return nil, View{}, nil, false
+	}
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor < len(st.events) {
+		events = append([]Event(nil), st.events[cursor:]...)
+	}
+	return events, st.view(), mgr.notify, true
+}
+
+// activeCount reports sweeps that still have pending or running cells.
+func (mgr *Manager) activeCount() int {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	n := 0
+	for _, st := range mgr.sweeps {
+		if st.finished.IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
+// Counts snapshots the sweep block of /v1/stats.
+func (mgr *Manager) Counts() Counts {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	c := Counts{
+		Total:        len(mgr.sweeps),
+		Submitted:    mgr.m.submitted.Value(),
+		Resumed:      mgr.m.resumed.Value(),
+		CellsDone:    mgr.m.cellsDone.Value(),
+		CellsDeduped: mgr.m.cellsDeduped.Value(),
+		CellsFailed:  mgr.m.cellsFailed.Value(),
+	}
+	for _, st := range mgr.sweeps {
+		if st.finished.IsZero() {
+			c.Active++
+		}
+		c.CellsPending += st.pendingCount()
+		c.CellsRunning += st.running
+	}
+	return c
+}
+
+// Drain stops dispatch (TryDequeue returns false; Submit refuses) and
+// releases stream followers. In-flight cells still report through
+// CellDone — a shutdown cancellation arrives there as transient, which
+// returns the cell to pending so the restarted server re-runs it.
+func (mgr *Manager) Drain() {
+	mgr.mu.Lock()
+	if mgr.draining {
+		mgr.mu.Unlock()
+		return
+	}
+	mgr.draining = true
+	mgr.mu.Unlock()
+	close(mgr.drainCh)
+}
+
+// CloseStore flushes and stops the crash-safe store. Call only after
+// the worker pool has fully stopped, so the final CellDone mutations
+// (including transient reverts to pending) are captured on disk.
+func (mgr *Manager) CloseStore() {
+	if mgr.store != nil {
+		mgr.store.close()
+	}
+}

@@ -1,0 +1,127 @@
+package sweep
+
+// sched is the weighted round-robin scheduler over sweeps: each sweep
+// holds a FIFO of pending cell indices, and dispatch slots rotate
+// across sweeps in proportion to their priorities using a credit
+// scheme. A sweep with priority w receives w credits per refill round;
+// popping a cell spends one credit; when every sweep with pending work
+// is out of credits, all credits refill. The rotation pointer survives
+// refills, so two equal-priority sweeps alternate strictly instead of
+// one draining first.
+//
+// sched is not goroutine-safe: the Manager serializes access under its
+// own mutex.
+type sched struct {
+	order   []string         // registration order — the rotation ring
+	pending map[string][]int // sweep id → FIFO of pending cell indices
+	weight  map[string]int   // sweep id → priority (credits per refill)
+	credit  map[string]int   // sweep id → credits left this round
+	next    int              // rotation pointer into order
+}
+
+func newSched() *sched {
+	return &sched{
+		pending: make(map[string][]int),
+		weight:  make(map[string]int),
+		credit:  make(map[string]int),
+	}
+}
+
+// add registers a sweep with the given priority weight (>=1). Re-adding
+// an existing sweep only updates its weight.
+func (s *sched) add(id string, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	if _, ok := s.weight[id]; !ok {
+		s.order = append(s.order, id)
+		s.credit[id] = weight
+	}
+	s.weight[id] = weight
+	if s.credit[id] > weight {
+		s.credit[id] = weight
+	}
+}
+
+// remove drops a sweep (typically once it has no pending cells left and
+// is terminal) from the rotation.
+func (s *sched) remove(id string) {
+	if _, ok := s.weight[id]; !ok {
+		return
+	}
+	for i, sid := range s.order {
+		if sid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			if s.next > i {
+				s.next--
+			}
+			break
+		}
+	}
+	if len(s.order) > 0 {
+		s.next %= len(s.order)
+	} else {
+		s.next = 0
+	}
+	delete(s.pending, id)
+	delete(s.weight, id)
+	delete(s.credit, id)
+}
+
+// push appends a pending cell index to a sweep's FIFO. The sweep must
+// have been added.
+func (s *sched) push(id string, cell int) {
+	s.pending[id] = append(s.pending[id], cell)
+}
+
+// pushFront prepends a cell (used when a dispatched cell bounces back,
+// e.g. a transient failure, so it keeps its place at the head).
+func (s *sched) pushFront(id string, cell int) {
+	s.pending[id] = append([]int{cell}, s.pending[id]...)
+}
+
+// depth reports a sweep's pending-queue length.
+func (s *sched) depth(id string) int { return len(s.pending[id]) }
+
+// anyPending reports whether any sweep has pending cells.
+func (s *sched) anyPending() bool {
+	for _, q := range s.pending {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pop returns the next (sweep id, cell index) under weighted round-
+// robin, or ok=false if no sweep has pending cells. Two passes over the
+// ring: the first spends credits; if every sweep with pending work is
+// out of credits, refill all and take the second pass.
+func (s *sched) pop() (string, int, bool) {
+	if !s.anyPending() {
+		return "", 0, false
+	}
+	for pass := 0; pass < 2; pass++ {
+		n := len(s.order)
+		for i := 0; i < n; i++ {
+			idx := (s.next + i) % n
+			id := s.order[idx]
+			if len(s.pending[id]) == 0 || s.credit[id] <= 0 {
+				continue
+			}
+			cell := s.pending[id][0]
+			s.pending[id] = s.pending[id][1:]
+			s.credit[id]--
+			// Advance the rotation past this sweep so equal-priority
+			// sweeps alternate rather than one monopolizing its credits
+			// back-to-back.
+			s.next = (idx + 1) % n
+			return id, cell, true
+		}
+		// Everything pending is out of credits: refill and retry.
+		for id, w := range s.weight {
+			s.credit[id] = w
+		}
+	}
+	return "", 0, false
+}

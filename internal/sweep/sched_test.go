@@ -1,0 +1,150 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+// drain pops until empty, recording the sweep each slot went to.
+func drain(s *sched) []string {
+	var order []string
+	for {
+		id, _, ok := s.pop()
+		if !ok {
+			return order
+		}
+		order = append(order, id)
+	}
+}
+
+// TestSchedFIFOWithinSweep: one sweep's cells come back in push order.
+func TestSchedFIFOWithinSweep(t *testing.T) {
+	s := newSched()
+	s.add("a", 1)
+	for i := 0; i < 5; i++ {
+		s.push("a", i)
+	}
+	for want := 0; want < 5; want++ {
+		id, cell, ok := s.pop()
+		if !ok || id != "a" || cell != want {
+			t.Fatalf("pop = %s/%d/%v, want a/%d/true", id, cell, ok, want)
+		}
+	}
+	if _, _, ok := s.pop(); ok {
+		t.Fatal("pop on empty sched returned a cell")
+	}
+}
+
+// TestSchedEqualWeightsAlternate: equal-priority sweeps alternate
+// strictly — neither drains first.
+func TestSchedEqualWeightsAlternate(t *testing.T) {
+	s := newSched()
+	s.add("a", 1)
+	s.add("b", 1)
+	for i := 0; i < 4; i++ {
+		s.push("a", i)
+		s.push("b", i)
+	}
+	got := drain(s)
+	want := []string{"a", "b", "a", "b", "a", "b", "a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dispatch order = %v, want strict alternation %v", got, want)
+	}
+}
+
+// TestSchedWeightedShares: a priority-3 sweep receives three dispatch
+// slots per round for every slot a priority-1 sweep receives, and the
+// low-priority sweep is never starved for a whole round.
+func TestSchedWeightedShares(t *testing.T) {
+	s := newSched()
+	s.add("hi", 3)
+	s.add("lo", 1)
+	for i := 0; i < 30; i++ {
+		s.push("hi", i)
+	}
+	for i := 0; i < 10; i++ {
+		s.push("lo", i)
+	}
+	order := drain(s)
+	if len(order) != 40 {
+		t.Fatalf("drained %d slots, want 40", len(order))
+	}
+	// Every window of 4 consecutive slots, while both sweeps have work,
+	// contains exactly one "lo" dispatch: bounded wait, no starvation.
+	for start := 0; start+4 <= 40; start += 4 {
+		lo := 0
+		for _, id := range order[start : start+4] {
+			if id == "lo" {
+				lo++
+			}
+		}
+		if lo != 1 {
+			t.Fatalf("round %d = %v, want exactly one lo slot per round",
+				start/4, order[start:start+4])
+		}
+	}
+}
+
+// TestSchedPushFront: a bounced cell keeps its place at the head of
+// its sweep's FIFO.
+func TestSchedPushFront(t *testing.T) {
+	s := newSched()
+	s.add("a", 1)
+	s.push("a", 0)
+	s.push("a", 1)
+	id, cell, _ := s.pop()
+	if id != "a" || cell != 0 {
+		t.Fatalf("pop = %s/%d, want a/0", id, cell)
+	}
+	s.pushFront("a", 0) // transient failure: give it back
+	if _, cell, _ = s.pop(); cell != 0 {
+		t.Fatalf("after pushFront, pop = %d, want the bounced cell 0", cell)
+	}
+	if _, cell, _ = s.pop(); cell != 1 {
+		t.Fatalf("pop = %d, want 1", cell)
+	}
+}
+
+// TestSchedRemoveMidRotation: removing a sweep keeps the rotation
+// pointer valid and the other sweeps dispatchable.
+func TestSchedRemoveMidRotation(t *testing.T) {
+	s := newSched()
+	for _, id := range []string{"a", "b", "c"} {
+		s.add(id, 1)
+		s.push(id, 0)
+		s.push(id, 1)
+	}
+	if id, _, _ := s.pop(); id != "a" {
+		t.Fatalf("first pop from %s, want a", id)
+	}
+	s.remove("b")
+	got := drain(s)
+	want := []string{"c", "a", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after removing b, dispatch order = %v, want %v", got, want)
+	}
+	if s.depth("b") != 0 || s.anyPending() {
+		t.Error("removed sweep left pending state behind")
+	}
+}
+
+// TestSchedReAddUpdatesWeight: re-adding caps credits at the new
+// weight instead of resetting or duplicating the ring entry.
+func TestSchedReAddUpdatesWeight(t *testing.T) {
+	s := newSched()
+	s.add("a", 5)
+	s.add("b", 1)
+	s.add("a", 1) // priority lowered on resubmission
+	if len(s.order) != 2 {
+		t.Fatalf("ring has %d entries, want 2", len(s.order))
+	}
+	for i := 0; i < 4; i++ {
+		s.push("a", i)
+		s.push("b", i)
+	}
+	got := drain(s)
+	want := []string{"a", "b", "a", "b", "a", "b", "a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after weight update, order = %v, want %v", got, want)
+	}
+}

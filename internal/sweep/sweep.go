@@ -1,0 +1,289 @@
+// Package sweep is the server-side experiment-sweep orchestration
+// subsystem behind mamaserved's /v1/sweeps API. A sweep spec — a grid
+// and/or an explicit cell list over mix × controller × scale × seed ×
+// DRAM — is expanded deterministically into content-addressed job
+// cells, deduplicated against the server's result cache before
+// anything is scheduled, and executed through the server's worker pool
+// under a weighted-fair scheduler: interactive POST /v1/jobs traffic
+// always runs first, and pending cells of concurrent sweeps are
+// dispatched round-robin in proportion to their priorities, so one
+// giant sweep can neither starve single jobs nor monopolize the pool
+// against other sweeps.
+//
+// Completed cells append to a per-sweep event log that clients stream
+// incrementally (NDJSON or SSE) with cursor-based resume. Sweep state
+// persists through the same crash-safe layer as the result cache:
+// a restarted server reloads incomplete sweeps, re-admits only the
+// cells whose results are not already in the restored cache, and
+// resumes — finished cells are never recomputed.
+//
+// The package is deliberately independent of internal/server: the
+// execution backend is abstracted behind the Exec interface, which the
+// server implements (cell resolution via its canonical job hash, cache
+// lookups against its content-addressed result store).
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DRAM selects a memory system for a grid axis: a DDR4 speed grade and
+// channel count. The zero value means "the server's default DRAM".
+type DRAM struct {
+	MTps     int `json:"mtps,omitempty"`
+	Channels int `json:"channels,omitempty"`
+}
+
+// Cell is one fully specified simulation of a sweep: the same shape as
+// the server's interactive job spec minus execution-only knobs. Cells
+// are the unit of expansion, content addressing, scheduling, and
+// result streaming.
+type Cell struct {
+	// Mix lists catalog trace names, one per core.
+	Mix []string `json:"mix"`
+	// Controller is one of the server's controller keys.
+	Controller string `json:"controller"`
+	// Scale names the simulation budget (tiny|small|default|full);
+	// empty means "default".
+	Scale string `json:"scale,omitempty"`
+	// Seed labels the mix and namespaces the cache key.
+	Seed uint64 `json:"seed,omitempty"`
+	// Target and Step override the scale's instruction goal / agent
+	// timestep; 0 keeps the scale default.
+	Target uint64 `json:"target,omitempty"`
+	Step   uint64 `json:"step,omitempty"`
+	// DRAMMTps and DRAMChannels override the memory system.
+	DRAMMTps     int `json:"dram_mtps,omitempty"`
+	DRAMChannels int `json:"dram_channels,omitempty"`
+}
+
+// normalize canonicalizes a cell the same way the server canonicalizes
+// job specs, so equivalent spellings expand to identical cells (and
+// therefore identical content addresses).
+func (c *Cell) normalize() {
+	mix := make([]string, len(c.Mix))
+	for i := range c.Mix {
+		mix[i] = strings.TrimSpace(c.Mix[i])
+	}
+	c.Mix = mix
+	c.Controller = strings.TrimSpace(c.Controller)
+	c.Scale = strings.ToLower(strings.TrimSpace(c.Scale))
+	if c.Scale == "" {
+		c.Scale = "default"
+	}
+}
+
+// Grid is the cartesian-product form of a sweep: every combination of
+// one entry per non-empty axis becomes a cell. Empty axes default to a
+// single neutral entry (default scale, seed 0, server-default DRAM).
+type Grid struct {
+	// Mixes is the workload axis: each entry is one mix (a list of
+	// catalog trace names, one per core). Mixes of different core
+	// counts may coexist in one sweep.
+	Mixes [][]string `json:"mixes,omitempty"`
+	// Controllers is the controller-key axis.
+	Controllers []string `json:"controllers,omitempty"`
+	// Scales is the simulation-budget axis.
+	Scales []string `json:"scales,omitempty"`
+	// Seeds is the mix-label / cache-namespace axis.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// DRAM is the memory-system axis.
+	DRAM []DRAM `json:"dram,omitempty"`
+	// Target and Step apply to every expanded cell.
+	Target uint64 `json:"target,omitempty"`
+	Step   uint64 `json:"step,omitempty"`
+}
+
+// Spec is a sweep request: a grid and/or an explicit cell list, plus
+// scheduling knobs. At least one of Grid/Cells must produce a cell.
+type Spec struct {
+	// Name labels the sweep and namespaces its identity: two specs that
+	// differ only in Name are distinct sweeps.
+	Name string `json:"name,omitempty"`
+	// Priority weights this sweep in the fair scheduler (1..MaxPriority,
+	// default 1): a priority-3 sweep receives three cell dispatches per
+	// round for every one a priority-1 sweep receives. Priority does not
+	// contribute to the sweep's identity, so resubmitting a running
+	// sweep with a different priority attaches to the existing one.
+	Priority int `json:"priority,omitempty"`
+	// Grid expands to the cartesian product of its axes.
+	Grid *Grid `json:"grid,omitempty"`
+	// Cells are appended after the grid expansion, in order.
+	Cells []Cell `json:"cells,omitempty"`
+	// TimeoutMs bounds each cell's execution; 0 uses the server default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalize canonicalizes the spec in place (trimmed names, defaulted
+// axes are NOT materialized here — Expand applies defaults — but all
+// string fields are brought to canonical form so hashing is stable).
+func (s *Spec) normalize() {
+	s.Name = strings.TrimSpace(s.Name)
+	if s.Grid != nil {
+		for i := range s.Grid.Mixes {
+			for j := range s.Grid.Mixes[i] {
+				s.Grid.Mixes[i][j] = strings.TrimSpace(s.Grid.Mixes[i][j])
+			}
+		}
+		for i := range s.Grid.Controllers {
+			s.Grid.Controllers[i] = strings.TrimSpace(s.Grid.Controllers[i])
+		}
+		for i := range s.Grid.Scales {
+			s.Grid.Scales[i] = strings.ToLower(strings.TrimSpace(s.Grid.Scales[i]))
+		}
+	}
+	for i := range s.Cells {
+		s.Cells[i].normalize()
+	}
+}
+
+// Expand materializes the spec's ordered cell list: the grid's
+// cartesian product first (nesting order mix → controller → scale →
+// seed → DRAM, so the workload axis varies slowest), then the explicit
+// cells. Expansion is deterministic: the same spec always yields the
+// same cells in the same order. maxCells bounds the expansion (0 means
+// unlimited); exceeding it is an error, not a truncation.
+func (s *Spec) Expand(maxCells int) ([]Cell, error) {
+	s.normalize()
+	var out []Cell
+	if s.Grid != nil {
+		g := s.Grid
+		if len(g.Mixes) == 0 && (len(g.Controllers) > 0 || len(g.Scales) > 0 ||
+			len(g.Seeds) > 0 || len(g.DRAM) > 0) {
+			return nil, fmt.Errorf("sweep grid has axes but no mixes")
+		}
+		controllers := g.Controllers
+		if len(controllers) == 0 && len(g.Mixes) > 0 {
+			return nil, fmt.Errorf("sweep grid has mixes but no controllers")
+		}
+		scales := g.Scales
+		if len(scales) == 0 {
+			scales = []string{"default"}
+		}
+		seeds := g.Seeds
+		if len(seeds) == 0 {
+			seeds = []uint64{0}
+		}
+		drams := g.DRAM
+		if len(drams) == 0 {
+			drams = []DRAM{{}}
+		}
+		n := len(g.Mixes) * len(controllers) * len(scales) * len(seeds) * len(drams)
+		if maxCells > 0 && n+len(s.Cells) > maxCells {
+			return nil, fmt.Errorf("sweep expands to %d cells; server accepts at most %d",
+				n+len(s.Cells), maxCells)
+		}
+		out = make([]Cell, 0, n+len(s.Cells))
+		for _, mix := range g.Mixes {
+			for _, ctrl := range controllers {
+				for _, sc := range scales {
+					for _, seed := range seeds {
+						for _, d := range drams {
+							c := Cell{
+								Mix: mix, Controller: ctrl, Scale: sc, Seed: seed,
+								Target: g.Target, Step: g.Step,
+								DRAMMTps: d.MTps, DRAMChannels: d.Channels,
+							}
+							c.normalize()
+							out = append(out, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	out = append(out, s.Cells...)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep expands to zero cells (empty grid and no explicit cells)")
+	}
+	if maxCells > 0 && len(out) > maxCells {
+		return nil, fmt.Errorf("sweep expands to %d cells; server accepts at most %d",
+			len(out), maxCells)
+	}
+	return out, nil
+}
+
+// ID derives the sweep's content address: the SHA-256 of the canonical
+// JSON of everything that determines the cell set (name, grid, cells,
+// per-cell timeout). Priority is excluded — it tunes scheduling, not
+// content — so resubmitting the same sweep at a different priority
+// attaches to the running sweep instead of forking a duplicate.
+func (s *Spec) ID() (string, error) {
+	s.normalize()
+	canonical := struct {
+		Name      string
+		Grid      *Grid
+		Cells     []Cell
+		TimeoutMs int64
+	}{s.Name, s.Grid, s.Cells, s.TimeoutMs}
+	b, err := json.Marshal(canonical)
+	if err != nil {
+		return "", fmt.Errorf("canonical sweep encoding: %w", err)
+	}
+	h := sha256.Sum256(b)
+	return "s" + hex.EncodeToString(h[:8]), nil
+}
+
+// CellStatus is a cell's lifecycle state.
+type CellStatus string
+
+const (
+	// CellPending: admitted, waiting in the sweep's fair-share queue.
+	CellPending CellStatus = "pending"
+	// CellRunning: dispatched to a worker.
+	CellRunning CellStatus = "running"
+	// CellDone: simulation finished and the result is attached.
+	CellDone CellStatus = "done"
+	// CellFailed: simulation finished with a non-transient error.
+	CellFailed CellStatus = "failed"
+	// CellDeduped: completed without running — the result came from the
+	// content-addressed cache, an identical cell in this or another
+	// sweep, or an identical interactive job.
+	CellDeduped CellStatus = "deduped"
+)
+
+// terminal reports whether a status is final.
+func (s CellStatus) terminal() bool {
+	return s == CellDone || s == CellFailed || s == CellDeduped
+}
+
+// Event is one entry of a sweep's append-only result log: a cell
+// reaching a terminal state. Seq is the event's position in the log
+// (the stream cursor); Cell is the cell's index in the expansion, so
+// clients can correlate events with the spec they submitted even when
+// delivery order differs from expansion order. Delivery is
+// at-least-once across server restarts: the log is rebuilt on resume,
+// so a resumed cursor may re-deliver an event — dedupe by Cell.
+type Event struct {
+	Seq    int             `json:"seq"`
+	Cell   int             `json:"cell"`
+	Status CellStatus      `json:"status"`
+	Key    string          `json:"key"`
+	Spec   Cell            `json:"spec"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// View is the API representation of a sweep.
+type View struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Status   string `json:"status"` // running | done
+	Priority int    `json:"priority"`
+	Cells    int    `json:"cells"`
+	Pending  int    `json:"pending"` // this sweep's queue depth
+	Running  int    `json:"running"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Deduped  int    `json:"deduped"`
+	// Events is the current length of the result log (the cursor a
+	// fresh stream would end at).
+	Events     int        `json:"events"`
+	CreatedAt  time.Time  `json:"created_at"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}

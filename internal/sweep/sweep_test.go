@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+func gridSpec() Spec {
+	return Spec{
+		Name: "t",
+		Grid: &Grid{
+			Mixes:       [][]string{{"a", "b"}, {"c", "d"}},
+			Controllers: []string{"mumama", "bandit"},
+			Scales:      []string{"tiny"},
+			Seeds:       []uint64{0, 1},
+			DRAM:        []DRAM{{}, {MTps: 2400, Channels: 2}},
+		},
+	}
+}
+
+// TestExpandDeterministic pins the expansion contract: the same spec
+// always yields the same cells in the same order, which is what makes
+// cell indices stable across resubmission and restart.
+func TestExpandDeterministic(t *testing.T) {
+	s1, s2 := gridSpec(), gridSpec()
+	c1, err := s1.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s2.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("two expansions of the same spec differ")
+	}
+	if len(c1) != 2*2*1*2*2 {
+		t.Fatalf("expanded %d cells, want 16", len(c1))
+	}
+}
+
+// TestExpandOrder pins the nesting order (mix slowest, DRAM fastest)
+// and the axis defaults.
+func TestExpandOrder(t *testing.T) {
+	s := Spec{Grid: &Grid{
+		Mixes:       [][]string{{"a"}, {"b"}},
+		Controllers: []string{"x", "y"},
+	}}
+	cells, err := s.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Cell{
+		{Mix: []string{"a"}, Controller: "x", Scale: "default"},
+		{Mix: []string{"a"}, Controller: "y", Scale: "default"},
+		{Mix: []string{"b"}, Controller: "x", Scale: "default"},
+		{Mix: []string{"b"}, Controller: "y", Scale: "default"},
+	}
+	if !reflect.DeepEqual(cells, want) {
+		t.Fatalf("expansion order:\n got %+v\nwant %+v", cells, want)
+	}
+}
+
+// TestExpandExplicitCellsAppend checks explicit cells follow the grid
+// in submission order and are normalized.
+func TestExpandExplicitCellsAppend(t *testing.T) {
+	s := Spec{
+		Grid:  &Grid{Mixes: [][]string{{"a"}}, Controllers: []string{"x"}},
+		Cells: []Cell{{Mix: []string{" b "}, Controller: "y ", Scale: "TINY"}},
+	}
+	cells, err := s.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expanded %d cells, want 2", len(cells))
+	}
+	last := cells[1]
+	if last.Mix[0] != "b" || last.Controller != "y" || last.Scale != "tiny" {
+		t.Fatalf("explicit cell not normalized: %+v", last)
+	}
+}
+
+// TestExpandErrors covers the rejection paths: empty specs, axes
+// without mixes, mixes without controllers, and the cell budget —
+// which must error, never truncate.
+func TestExpandErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		max  int
+	}{
+		{"empty", Spec{}, 0},
+		{"axes without mixes", Spec{Grid: &Grid{Controllers: []string{"x"}}}, 0},
+		{"mixes without controllers", Spec{Grid: &Grid{Mixes: [][]string{{"a"}}}}, 0},
+		{"over budget", gridSpec(), 15},
+		{"explicit cells over budget", Spec{Cells: []Cell{
+			{Mix: []string{"a"}, Controller: "x"},
+			{Mix: []string{"b"}, Controller: "x"},
+		}}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.spec.Expand(tc.max); err == nil {
+				t.Errorf("Expand(%d) accepted %+v", tc.max, tc.spec)
+			}
+		})
+	}
+}
+
+// TestSpecID pins identity semantics: stable across calls, sensitive
+// to the cell set and name, and insensitive to priority (so a
+// resubmission at a different priority attaches to the running sweep).
+func TestSpecID(t *testing.T) {
+	a, b := gridSpec(), gridSpec()
+	ida, err := a.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idb, _ := b.ID()
+	if ida != idb {
+		t.Fatalf("same spec hashed differently: %s vs %s", ida, idb)
+	}
+
+	b.Priority = 5
+	if idb, _ = b.ID(); idb != ida {
+		t.Errorf("priority changed the sweep ID: %s vs %s", idb, ida)
+	}
+
+	b.Name = "other"
+	if idb, _ = b.ID(); idb == ida {
+		t.Error("different name did not change the sweep ID")
+	}
+
+	c := gridSpec()
+	c.Grid.Seeds = []uint64{0}
+	if idc, _ := c.ID(); idc == ida {
+		t.Error("different cell set did not change the sweep ID")
+	}
+
+	// Normalization folds into identity: spacing and case differences
+	// that expand to the same cells hash the same.
+	d := gridSpec()
+	d.Grid.Controllers = []string{" mumama ", "bandit"}
+	d.Grid.Scales = []string{"TINY"}
+	if idd, _ := d.ID(); idd != ida {
+		t.Errorf("equivalent spelling hashed differently: %s vs %s", idd, ida)
+	}
+}

@@ -1,0 +1,122 @@
+// Command sweepsmoke is the `make sweep-smoke` gate: a tiny real
+// sweep driven end to end against an in-process mamaserved — submit,
+// fair-schedule, stream — followed by a restart over the same cache
+// dir and a same-cells resubmission that must be answered entirely
+// from the warm cache with zero new simulations. It exercises the
+// whole sweep surface (expansion, dedupe, streaming, persistence)
+// in a few seconds with no external processes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"micromama/internal/client"
+	"micromama/internal/server"
+	"micromama/internal/sweep"
+)
+
+// spec is a four-cell tiny-scale sweep (two mixes × two controllers)
+// with a small instruction target so real simulations stay fast.
+func spec(name string) sweep.Spec {
+	return sweep.Spec{
+		Name: name,
+		Grid: &sweep.Grid{
+			Mixes:       [][]string{{"spec06.libquantum"}, {"spec06.sphinx3"}},
+			Controllers: []string{"no", "bandit"},
+			Scales:      []string{"tiny"},
+			Target:      60_000,
+		},
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "sweepsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Phase 1: cold sweep on a fresh server.
+	srv1, err := server.New(server.Config{Workers: 2, QueueDepth: 8, CacheDir: dir})
+	if err != nil {
+		return fmt.Errorf("server 1: %w", err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := client.New(ts1.URL, client.Options{Timeout: 2 * time.Minute})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	v, err := c1.SubmitSweep(ctx, spec("smoke"))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Printf("sweep-smoke: submitted %s (%d cells)\n", v.ID, v.Cells)
+	streamed := 0
+	final, err := c1.StreamSweepResults(ctx, v.ID, func(ev sweep.Event) error {
+		streamed++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	if final.Done != v.Cells || final.Failed != 0 || streamed != v.Cells {
+		return fmt.Errorf("cold sweep: done %d failed %d streamed %d, want %d/0/%d",
+			final.Done, final.Failed, streamed, v.Cells, v.Cells)
+	}
+	fmt.Printf("sweep-smoke: cold sweep done (%d cells simulated)\n", final.Done)
+
+	ts1.Close()
+	if err := srv1.Shutdown(context.Background()); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+
+	// Phase 2: restart over the same cache dir; the same cells under a
+	// new sweep name must be deduped wholesale — zero simulations.
+	srv2, err := server.New(server.Config{Workers: 2, QueueDepth: 8, CacheDir: dir})
+	if err != nil {
+		return fmt.Errorf("server 2: %w", err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	c2 := client.New(ts2.URL, client.Options{Timeout: 2 * time.Minute})
+
+	warm, err := c2.SubmitSweep(ctx, spec("smoke-warm"))
+	if err != nil {
+		return fmt.Errorf("warm submit: %w", err)
+	}
+	if warm.Status != "done" || warm.Deduped != v.Cells {
+		return fmt.Errorf("warm sweep: status %q deduped %d, want done with all %d cells deduped",
+			warm.Status, warm.Deduped, v.Cells)
+	}
+	resp, err := c2.Get(ctx, "/v1/stats")
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	var st struct {
+		Simulations uint64 `json:"simulations"`
+	}
+	if err := json.Unmarshal(resp.Body, &st); err != nil {
+		return fmt.Errorf("decode stats: %w", err)
+	}
+	if st.Simulations != 0 {
+		return fmt.Errorf("restarted server ran %d simulations for a warm sweep, want 0", st.Simulations)
+	}
+	fmt.Printf("sweep-smoke: warm sweep %s answered from cache (%d cells, 0 simulations)\n",
+		warm.ID, warm.Deduped)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("sweep-smoke: PASS")
+}
