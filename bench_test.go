@@ -14,6 +14,7 @@ package micromama_bench
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"micromama/internal/experiment"
 	"micromama/internal/prefetch"
 	"micromama/internal/sim"
+	"micromama/internal/trace"
 )
 
 var (
@@ -425,4 +427,59 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		instr += res.Cores[0].Instructions
 	}
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkSimulatorThroughputParallel measures aggregate multicore
+// simulation speed under the parallel epoch engine: 1/2/4/8 simulated
+// cores, each at parallelism 0 (the serial reference path) and
+// GOMAXPROCS. The system is built and warmed outside the timed loop and
+// stepped with the chunked Advance API, so steady-state allocs/op must
+// be 0 on both paths. The compute-bound per-core workloads keep most
+// work core-private — the regime the engine targets — making the
+// parallel/serial instr/s ratio at 8 cores the headline speedup.
+func BenchmarkSimulatorThroughputParallel(b *testing.B) {
+	modes := []struct {
+		name string
+		par  int
+	}{{"serial", 0}, {"parallel", runtime.GOMAXPROCS(0)}}
+	for _, cores := range []int{1, 2, 4, 8} {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%dc/%s", cores, mode.name), func(b *testing.B) {
+				cfg := sim.DefaultConfig(cores)
+				cfg.Parallelism = mode.par
+				traces := make([]trace.Reader, cores)
+				for i := range traces {
+					traces[i] = trace.NewCompute(fmt.Sprintf("bench.compute.%d", i), trace.ComputeConfig{
+						Seed: 17 + uint64(i)*1031, WorkingSet: 32 << 10, MemRatio: 0.3, Length: 1 << 62,
+					})
+				}
+				sys, err := sim.New(cfg, traces, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sys.Close()
+
+				total := func() uint64 {
+					var t uint64
+					for i := 0; i < cores; i++ {
+						t += sys.Instructions(i)
+					}
+					return t
+				}
+				// Warm: spins up the worker pool and runs past cold-start
+				// growth of the pending-miss FIFOs and cache arrays. The
+				// infinite traces and max target mean no core ever freezes.
+				const never, chunk = ^uint64(0), 64
+				sys.Advance(never, 512)
+				start := total()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sys.Advance(never, chunk)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(total()-start)/b.Elapsed().Seconds(), "instr/s")
+			})
+		}
+	}
 }

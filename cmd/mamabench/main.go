@@ -55,6 +55,7 @@ func main() {
 	flag.StringVar(&svgDir, "svg", "", "also write figures as SVG files into this directory")
 	flag.StringVar(&jsonDir, "json", "", "also write report data as JSON files into this directory")
 	server := flag.String("server", "", "run experiments remotely as sweeps against this mamaserved URL (fig11, fig13)")
+	simPar := flag.Int("sim-parallel", sim.ParallelismFromEnv(0), "goroutines advancing each simulation's cores in parallel; 0 = serial (default; or MAMA_SIM_PARALLEL) since mamabench already runs GOMAXPROCS simulations side by side. Results are bit-identical at any setting")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	metricsOut := flag.String("metrics-dump", "", "write telemetry in Prometheus text format to this file at exit (\"-\" for stdout)")
@@ -110,6 +111,10 @@ func main() {
 
 	r := experiment.NewRunner(scale)
 	r.BaseCtx = ctx
+	if *simPar < 0 {
+		*simPar = 0
+	}
+	r.SimParallelism = *simPar
 	var rr *remoteRunner
 	if *server != "" {
 		rr = &remoteRunner{

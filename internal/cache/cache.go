@@ -170,6 +170,11 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// ResetStats zeroes the counters while leaving array contents, recency
+// state, and in-flight fills untouched — the end-of-warmup transition:
+// the timed region starts from warm arrays but counts from zero.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
 // LineAddr aligns addr down to its cache line.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
 

@@ -197,6 +197,11 @@ func (d *DRAM) Config() Config { return d.cfg }
 // Stats returns a snapshot of the counters.
 func (d *DRAM) Stats() Stats { return d.stats }
 
+// BusBusy returns just the accumulated channel-bus occupancy, for
+// periodic bandwidth sampling that shouldn't copy the whole Stats
+// struct every probe.
+func (d *DRAM) BusBusy() uint64 { return d.stats.BusBusyCycles }
+
 // Access services a demand line transfer arriving at cycle now and
 // returns the cycle at which the data is fully transferred. write
 // distinguishes writebacks (same bus cost, nobody waits on the result).

@@ -188,6 +188,15 @@ type Runner struct {
 	Scale   Scale
 	Workers int
 
+	// SimParallelism is the per-simulation goroutine budget passed to
+	// sim.Config.Parallelism on every simulation this runner starts
+	// (0 = serial). Results are bit-identical either way; this only
+	// decides how a single simulation spreads over host cores, while
+	// Workers decides how many simulations run side by side. Keep
+	// Workers × SimParallelism near GOMAXPROCS to avoid
+	// oversubscription.
+	SimParallelism int
+
 	// BaseCtx, when non-nil, is the context used by the non-Context
 	// entry points (RunMix, RunMixes, Profiles, ...): drivers like
 	// cmd/mamabench set it once (e.g. to a signal-cancelled context)
@@ -218,4 +227,12 @@ func (r *Runner) baseCtx() context.Context {
 		return r.BaseCtx
 	}
 	return context.Background()
+}
+
+// simCfg stamps the runner's per-simulation parallelism onto a config
+// on its way into sim.New. Parallelism is excluded from fingerprints,
+// so cache keys computed from cfg before or after this call agree.
+func (r *Runner) simCfg(cfg sim.Config) sim.Config {
+	cfg.Parallelism = r.SimParallelism
+	return cfg
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -60,6 +61,27 @@ func TestRunMixProducesMetrics(t *testing.T) {
 	}
 	if len(res.Speedups) != 2 {
 		t.Errorf("speedups len %d", len(res.Speedups))
+	}
+}
+
+// TestRunMixSimParallelismMatchesSerial: the runner's per-simulation
+// parallelism must not change any measurement — separate runners so the
+// serial pass's caches cannot mask a divergence in the parallel one.
+func TestRunMixSimParallelismMatchesSerial(t *testing.T) {
+	mixes := workload.Mixes(2, 1, 3)
+	cfg := sim.DefaultConfig(2)
+	run := func(simPar int) MixResult {
+		r := NewRunner(ScaleTiny)
+		r.SimParallelism = simPar
+		res, err := r.RunMix(mixes[0], cfg, "bandit", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ser, par := run(0), run(4)
+	if !reflect.DeepEqual(ser, par) {
+		t.Errorf("SimParallelism changed the measurement:\nserial:   %+v\nparallel: %+v", ser, par)
 	}
 }
 

@@ -605,7 +605,7 @@ func (r *Runner) FigTimeline(key string) (*TimelineReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys, err := sim.New(cfg, mix.Traces(), ctrl)
+	sys, err := sim.New(r.simCfg(cfg), mix.Traces(), ctrl)
 	if err != nil {
 		return nil, err
 	}

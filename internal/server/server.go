@@ -64,6 +64,15 @@ type Config struct {
 	Logger *slog.Logger
 	// MaxSweepCells bounds a single sweep's expansion (default 4096).
 	MaxSweepCells int
+	// SimParallelism is the per-simulation goroutine budget handed to
+	// the simulator (sim.Config.Parallelism) for every job: 0 runs each
+	// simulation serially (the default — a loaded server already keeps
+	// Workers simulations in flight), a negative value auto-divides:
+	// GOMAXPROCS / Workers, floored, serial when that leaves fewer than
+	// 2. Results are bit-identical regardless, so this only trades
+	// single-job latency against cross-job throughput; the resolved
+	// value is reported in /v1/stats as sim_parallelism.
+	SimParallelism int
 	// Run overrides the execution function (tests only); nil runs real
 	// simulations through a shared experiment.Runner per scale.
 	Run runFunc
@@ -87,6 +96,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.SimParallelism < 0 {
+		// Auto: split host cores between pool workers and per-sim
+		// goroutines so a loaded server does not oversubscribe
+		// GOMAXPROCS; with a full-width pool this resolves to serial.
+		c.SimParallelism = runtime.GOMAXPROCS(0) / c.Workers
+		if c.SimParallelism < 2 {
+			c.SimParallelism = 0
+		}
 	}
 	return c
 }
@@ -335,6 +353,10 @@ func (s *Server) runnerFor(scale experiment.Scale) *experiment.Runner {
 	r, ok := s.runners[scale]
 	if !ok {
 		r = experiment.NewRunner(scale)
+		// The pool supplies cross-job concurrency (each job is a single
+		// RunMixContext on a pool worker); the resolved per-simulation
+		// parallelism from the server config applies inside each job.
+		r.SimParallelism = s.cfg.SimParallelism
 		s.runners[scale] = r
 	}
 	return r
@@ -529,6 +551,7 @@ func (s *Server) Stats() Stats {
 		QueueDepth:       s.q.depth(),
 		QueueCap:         s.q.cap(),
 		Workers:          s.cfg.Workers,
+		SimParallelism:   s.cfg.SimParallelism,
 		CachedKeys:       s.cache.size(),
 		JobsTracked:      tracked,
 		Draining:         s.isDraining(),

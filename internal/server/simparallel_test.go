@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"micromama/internal/experiment"
+)
+
+// fastRun is a runFunc stub so these tests never start a simulation.
+func fastRun(ctx context.Context, spec JobSpec) (JobResult, error) {
+	return JobResult{Mix: "stub"}, nil
+}
+
+// TestSimParallelismResolution pins the -sim-parallel policy: explicit
+// values pass through, auto (-1) divides GOMAXPROCS across the worker
+// pool and degrades to serial when the quotient is under 2.
+func TestSimParallelismResolution(t *testing.T) {
+	host := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name    string
+		workers int
+		simPar  int
+		want    int
+	}{
+		{"default-serial", 2, 0, 0},
+		{"explicit", 2, 4, 4},
+		{"auto-divides", 1, -1, autoWant(host, 1)},
+		{"auto-full-pool", host, -1, autoWant(host, host)},
+	}
+	for _, tc := range cases {
+		cfg := Config{Workers: tc.workers, SimParallelism: tc.simPar}.withDefaults()
+		if cfg.SimParallelism != tc.want {
+			t.Errorf("%s: resolved SimParallelism = %d, want %d", tc.name, cfg.SimParallelism, tc.want)
+		}
+	}
+}
+
+func autoWant(host, workers int) int {
+	p := host / workers
+	if p < 2 {
+		return 0
+	}
+	return p
+}
+
+// TestSimParallelismAppliedAndExposed: the resolved value must reach
+// every per-scale runner and surface in /v1/stats.
+func TestSimParallelismAppliedAndExposed(t *testing.T) {
+	srv := mustNew(t, Config{Workers: 1, SimParallelism: 3, Run: fastRun})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if r := srv.runnerFor(experiment.ScaleTiny); r.SimParallelism != 3 {
+		t.Errorf("runner SimParallelism = %d, want 3", r.SimParallelism)
+	}
+	if st := srv.Stats(); st.SimParallelism != 3 {
+		t.Errorf("Stats.SimParallelism = %d, want 3", st.SimParallelism)
+	}
+}

@@ -69,6 +69,12 @@ type Core struct {
 	l2PrefIssued uint64
 	prefDropped  uint64
 
+	// Parallel-epoch engine hookup (nil on the serial path): the core
+	// parks at its first shared-resource access of each epoch until the
+	// owner grants it the shared-access token (see parallel.go).
+	par       *parRunner
+	tokenHeld bool
+
 	// frozen stats at the instruction target
 	frozenAt      uint64
 	frozenL1D     cache.Stats
@@ -188,8 +194,10 @@ func (c *Core) advance(epochEnd, target uint64) {
 			c.doStore(ins)
 		}
 		if c.instr == target && c.frozenAt == 0 {
+			// The system recounts frozen cores at the epoch boundary
+			// (recountFrozen), so freezing touches only core-local state
+			// and advance stays safe to run off the owner goroutine.
 			c.freeze()
-			c.sys.frozen++
 		}
 	}
 }
@@ -369,6 +377,7 @@ func (c *Core) access(pc, addr uint64, store bool) (done uint64, fast bool) {
 // fills; a prefetch rejected by the memory controller's demand-priority
 // backpressure returns 0 with no state change.
 func (c *Core) fetchIntoL2(t uint64, addr uint64, pf bool) uint64 {
+	c.enterShared()
 	cfg := &c.sys.cfg
 	t3 := t + cfg.L2.HitLatency
 	r3 := c.sys.llc.Lookup(addr, t3, !pf)
@@ -470,6 +479,79 @@ func (c *Core) issueL1Prefetches(now uint64) {
 		c.l1PrefIssued++
 	}
 	c.l1Buf = c.l1Buf[:0]
+}
+
+// warmupAdvance fast-forwards the core through n trace instructions in
+// functional mode: cache contents and recency state update (dirty
+// victims propagate so warmed dirty lines stay dirty) but no cycles are
+// accounted and no prefetcher, controller, or DRAM state is touched.
+// The instruction counter stays at zero — warmup instructions do not
+// count toward the run target; they only consume trace prefix, the
+// ChampSim-style warmup. Cache hit/miss counters are reset by the
+// caller afterwards.
+func (c *Core) warmupAdvance(n uint64) {
+	for done := uint64(0); done < n; done++ {
+		if c.batchPos >= len(c.batch) {
+			if !c.refill() {
+				return // empty trace
+			}
+		}
+		ins := c.batch[c.batchPos]
+		c.batchPos++
+		if ins.PC&c.fetchLineMask != c.lastFetchLine {
+			c.warmFetch(ins.PC)
+		}
+		switch ins.Kind {
+		case trace.Load:
+			c.warmAccess(ins.Addr|c.base, false)
+		case trace.Store:
+			c.warmAccess(ins.Addr|c.base, true)
+		}
+	}
+}
+
+// warmFetch is doFetch without timing: install the fetch line in L1I
+// (and below on a miss).
+func (c *Core) warmFetch(pc uint64) {
+	line := pc & c.fetchLineMask
+	c.lastFetchLine = line
+	addr := line | c.base | 1<<(c.sys.cfg.AddrSpaceShift-1)
+	if r := c.l1i.Lookup(addr, 0, true); r.Hit {
+		return
+	}
+	if r2 := c.l2.Lookup(addr, 0, true); !r2.Hit {
+		c.warmFill(addr)
+	}
+	c.l1i.Fill(addr, 0, false, false)
+}
+
+// warmAccess is access without timing: walk the hierarchy, install the
+// line, propagate dirtiness.
+func (c *Core) warmAccess(addr uint64, store bool) {
+	if r1 := c.l1d.Lookup(addr, 0, true); r1.Hit {
+		if store {
+			c.l1d.MarkDirty(addr)
+		}
+		return
+	}
+	if r2 := c.l2.Lookup(addr, 0, true); !r2.Hit {
+		c.warmFill(addr)
+	}
+	if v := c.l1d.Fill(addr, 0, false, store); v.Valid && v.Dirty {
+		c.l2.MarkDirty(v.Addr)
+	}
+}
+
+// warmFill installs addr in the LLC and L2 content-only; dirty L2
+// victims move to the LLC as in the timed path, but dirty LLC victims
+// vanish (the DRAM model is not involved during warmup).
+func (c *Core) warmFill(addr uint64) {
+	if r3 := c.sys.llc.Lookup(addr, 0, true); !r3.Hit {
+		c.sys.llc.Fill(addr, 0, false, false)
+	}
+	if v := c.l2.Fill(addr, 0, false, false); v.Valid && v.Dirty {
+		c.sys.llc.Fill(v.Addr, 0, false, true)
+	}
 }
 
 // pfRing tracks outstanding prefetches at one level as a ring of

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"micromama/internal/core"
@@ -82,8 +83,9 @@ func goldenScenarios() []goldenScenario {
 	}
 }
 
-// runGolden executes one scenario from a cold start.
-func runGolden(t *testing.T, sc goldenScenario) sim.Result {
+// buildGolden constructs one scenario's system from a cold start, with
+// the given per-simulation parallelism (0 = the serial reference path).
+func buildGolden(t *testing.T, sc goldenScenario, parallelism int) *sim.System {
 	t.Helper()
 	specs := make([]workload.Spec, len(sc.traces))
 	for i, n := range sc.traces {
@@ -95,11 +97,18 @@ func runGolden(t *testing.T, sc goldenScenario) sim.Result {
 	}
 	mix := workload.Mix{Specs: specs}
 	cfg := sim.DefaultConfig(len(specs))
+	cfg.Parallelism = parallelism
 	sys, err := sim.New(cfg, mix.Traces(), sc.ctrl())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return sys.Run(sc.target, sc.target*14)
+	return sys
+}
+
+// runGolden executes one scenario serially from a cold start.
+func runGolden(t *testing.T, sc goldenScenario) sim.Result {
+	t.Helper()
+	return buildGolden(t, sc, 0).Run(sc.target, sc.target*14)
 }
 
 func marshalGolden(t *testing.T, results map[string]sim.Result) []byte {
@@ -152,6 +161,36 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	if !t.Failed() {
 		t.Error("golden bytes differ but no scenario diverged (encoding drift?)")
+	}
+}
+
+// TestGoldenSerialVsParallel pins the parallel epoch engine's exact-
+// equivalence claim: every golden scenario, run at parallelism 1, 2,
+// and NumCPU, must produce a Result bit-identical to the serial path.
+// It also asserts which engine actually ran: multicore scenarios under
+// core-local controllers (fixed engines, Bandit with local rewards)
+// must take the parallel path, while single-core systems and µMama —
+// whose arbiter mutates cross-core state mid-epoch — must fall back to
+// serial.
+func TestGoldenSerialVsParallel(t *testing.T) {
+	pars := []int{1, 2, runtime.NumCPU()}
+	for _, sc := range goldenScenarios() {
+		serial := runGolden(t, sc)
+		sj, _ := json.Marshal(serial)
+		for _, p := range pars {
+			sys := buildGolden(t, sc, p)
+			got := sys.Run(sc.target, sc.target*14)
+			gj, _ := json.Marshal(got)
+			if !bytes.Equal(sj, gj) {
+				t.Errorf("%s: parallelism %d diverged from serial\n got: %s\nwant: %s",
+					sc.name, p, gj, sj)
+			}
+			wantParallel := len(sc.traces) >= 2 && sc.name != "mumama-4c"
+			if gotParallel := sys.ParallelEpochs() > 0; gotParallel != wantParallel {
+				t.Errorf("%s: parallelism %d: parallel path ran = %v, want %v (workers %d)",
+					sc.name, p, gotParallel, wantParallel, sys.ParallelWorkers())
+			}
+		}
 	}
 }
 

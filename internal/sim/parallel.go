@@ -1,0 +1,142 @@
+package sim
+
+import "sync"
+
+// This file implements the parallel epoch engine: per-core work between
+// epoch synchronization points runs on persistent worker goroutines,
+// while every access to the shared LLC/DRAM still happens in the exact
+// order of the serial reference path. See docs/ARCHITECTURE.md,
+// "Parallel epoch-synchronous core", for the full determinism argument.
+//
+// The scheme is suspend-at-first-shared-touch with an in-order token:
+//
+//   - Each core has a dedicated goroutine that advances it through the
+//     epoch's *private* work (trace fetch, L1I/L1D/L2, prefetcher
+//     training) concurrently with the other cores, subject to a permit
+//     semaphore bounding concurrency at Config.Parallelism.
+//   - The moment a core would touch a shared resource (its first
+//     fetchIntoL2 of the epoch), it parks and reports evGated.
+//   - The epoch owner (the caller's goroutine) walks cores in canonical
+//     order 0..N-1: a gated core is granted the shared-access token and
+//     runs to its epoch end with direct shared access — strictly after
+//     every lower-numbered core finished its epoch, strictly before any
+//     higher-numbered core is granted.
+//
+// Shared accesses therefore occur in (epoch, core, program-order) —
+// exactly the serial schedule — and private work, which by definition
+// reads no shared state, may interleave freely. The two paths are
+// bit-identical by construction, which is what lets the committed
+// golden results stay byte-for-byte unchanged.
+//
+// Deadlock freedom: report channels are buffered for the at-most-two
+// events a core emits per epoch, grant channels for the at-most-one
+// grant, and a parking core releases its permit *before* reporting, so
+// a granted core waiting to re-acquire a permit always finds one —
+// every running core either finishes its epoch (bounded work) or parks,
+// and both release a permit without waiting on the owner.
+
+// Events a core goroutine reports to the epoch owner.
+const (
+	evGated uint8 = iota // parked at the first shared-resource access
+	evDone               // finished the epoch
+)
+
+// parRunner owns the persistent per-core goroutines of one System. All
+// channels are allocated once at start; steady-state epochs allocate
+// nothing.
+type parRunner struct {
+	permits chan struct{} // concurrency semaphore, cap = effective parallelism
+	target  uint64        // instruction target; written by the owner before starts
+	start   []chan uint64 // per-core epoch kick, carries epochEnd; closed to stop
+	report  []chan uint8  // per-core evGated/evDone
+	grant   []chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newParRunner(s *System) *parRunner {
+	n := len(s.cores)
+	p := s.cfg.Parallelism
+	if p > n {
+		p = n
+	}
+	r := &parRunner{
+		permits: make(chan struct{}, p),
+		start:   make([]chan uint64, n),
+		report:  make([]chan uint8, n),
+		grant:   make([]chan struct{}, n),
+	}
+	for i := 0; i < p; i++ {
+		r.permits <- struct{}{}
+	}
+	for i := range r.start {
+		r.start[i] = make(chan uint64, 1)
+		r.report[i] = make(chan uint8, 1)
+		r.grant[i] = make(chan struct{}, 1)
+	}
+	r.wg.Add(n)
+	for _, c := range s.cores {
+		c.par = r
+		go r.coreLoop(c)
+	}
+	return r
+}
+
+func (r *parRunner) acquire() { <-r.permits }
+func (r *parRunner) release() { r.permits <- struct{}{} }
+
+// coreLoop is the persistent goroutine of one core: kicked once per
+// epoch via start, it runs the core to the epoch boundary and reports.
+// A core that parked mid-epoch reports from enterShared instead and
+// reaches the evDone send here only after being granted the token.
+func (r *parRunner) coreLoop(c *Core) {
+	defer r.wg.Done()
+	for epochEnd := range r.start[c.id] {
+		c.tokenHeld = false
+		r.acquire()
+		c.advance(epochEnd, r.target)
+		r.release()
+		r.report[c.id] <- evDone
+	}
+}
+
+// enterShared is the gate every shared-resource access funnels through
+// (the top of fetchIntoL2). Serial path and token holders fall through;
+// otherwise the core parks until the owner grants it the token. The
+// permit is released before parking — see the deadlock note above.
+func (c *Core) enterShared() {
+	r := c.par
+	if r == nil || c.tokenHeld {
+		return
+	}
+	r.release()
+	r.report[c.id] <- evGated
+	<-r.grant[c.id]
+	c.tokenHeld = true
+	r.acquire()
+}
+
+// runEpoch advances every core through one epoch on the worker
+// goroutines. It returns only after all cores reported evDone, so the
+// caller may touch any core or shared state afterwards (the channel
+// receives establish the happens-before edges).
+func (r *parRunner) runEpoch(epochEnd, target uint64) {
+	r.target = target
+	for _, ch := range r.start {
+		ch <- epochEnd
+	}
+	for i, ch := range r.report {
+		if <-ch == evGated {
+			r.grant[i] <- struct{}{}
+			<-ch // evDone, once the granted core finishes its epoch
+		}
+	}
+}
+
+// stop retires the worker goroutines. The runner must be between
+// epochs (runEpoch is synchronous, so any caller is).
+func (r *parRunner) stop() {
+	for _, ch := range r.start {
+		close(ch)
+	}
+	r.wg.Wait()
+}

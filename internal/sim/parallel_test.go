@@ -1,0 +1,266 @@
+// Tests for the parallel epoch engine's lifecycle and the chunked
+// Advance API: bit-exactness is covered by TestGoldenSerialVsParallel
+// and TestQuickSerialParallelEquivalence; this file covers everything
+// around it — worker teardown, cancellation, resumable stepping,
+// functional warmup, eligibility, and the env knob.
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"micromama/internal/core"
+	"micromama/internal/prefetch"
+	"micromama/internal/sim"
+	"micromama/internal/trace"
+	"micromama/internal/workload"
+)
+
+// newTestSystem builds a 2-core fixed-controller system over catalog
+// traces.
+func newTestSystem(t *testing.T, parallelism int, warmup uint64) *sim.System {
+	t.Helper()
+	names := []string{"spec06.libquantum", "spec06.mcf"}
+	specs := make([]workload.Spec, len(names))
+	for i, n := range names {
+		sp, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = sp
+	}
+	mix := workload.Mix{Specs: specs}
+	cfg := sim.DefaultConfig(len(specs))
+	cfg.Parallelism = parallelism
+	cfg.WarmupInstructions = warmup
+	sys, err := sim.New(cfg, mix.Traces(), sim.NewFixedController("spp", func(int) prefetch.Prefetcher {
+		return prefetch.NewSPP()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want (worker teardown is synchronous, but the runtime needs a moment
+// to actually retire exited goroutines).
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: have %d, want <= %d", runtime.NumGoroutine(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParallelRunReleasesWorkers: RunContext must retire its worker
+// goroutines on every exit path, including cancellation mid-run.
+func TestParallelRunReleasesWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sys := newTestSystem(t, 4, 0)
+	sys.Run(50_000, 0)
+	if sys.ParallelEpochs() == 0 {
+		t.Fatal("parallel path did not run")
+	}
+	waitGoroutines(t, before)
+
+	// Cancellation path: a context that dies mid-run.
+	sys = newTestSystem(t, 4, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.RunContext(ctx, 1_000_000, 0); err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	waitGoroutines(t, before)
+}
+
+// TestAdvanceMatchesRun: stepping a system in small epoch chunks —
+// serial or parallel — must land on exactly the Run result, and Close
+// must retire the workers.
+func TestAdvanceMatchesRun(t *testing.T) {
+	const target = 40_000
+	want := newTestSystem(t, 0, 0).Run(target, 0)
+	wj, _ := json.Marshal(want)
+
+	for _, par := range []int{0, 3} {
+		before := runtime.NumGoroutine()
+		sys := newTestSystem(t, par, 0)
+		steps := 0
+		for !sys.Advance(target, 37) { // deliberately odd chunk size
+			steps++
+			if steps > 1_000_000 {
+				t.Fatal("Advance never completed")
+			}
+		}
+		got := sys.Result(target)
+		gj, _ := json.Marshal(got)
+		if !bytes.Equal(gj, wj) {
+			t.Errorf("par=%d: chunked Advance diverged from Run\n got: %s\nwant: %s", par, gj, wj)
+		}
+		if par > 0 && sys.ParallelEpochs() == 0 {
+			t.Errorf("par=%d: parallel path did not run", par)
+		}
+		sys.Close()
+		sys.Close() // idempotent
+		waitGoroutines(t, before)
+	}
+}
+
+// loopTrace loads round-robin over a cache-resident working set (lines
+// 64 B apart), so one full pass through it leaves every line cached.
+func loopTrace(name string, lines int, n int) trace.Reader {
+	ins := make([]trace.Instr, n)
+	for i := range ins {
+		ins[i] = trace.Instr{PC: 0x1000, Addr: uint64(i%lines) * 64, Kind: trace.Load}
+	}
+	return trace.NewSlice(name, ins)
+}
+
+// TestFunctionalWarmup: warmup must be deterministic (same config →
+// bit-identical results, serial or parallel), must not leak its own
+// traffic into the timed counters, and must actually warm the caches —
+// a cache-resident working set touched during warmup turns the timed
+// region's cold misses into hits.
+func TestFunctionalWarmup(t *testing.T) {
+	const (
+		lines  = 256    // 16 KB: fits L1D, so a warm run should miss ~never
+		length = 1024   // one trace revolution covers every line 4x
+		target = 20_000 // several revolutions in the timed region
+	)
+	run := func(parallelism int, warm uint64) sim.Result {
+		cfg := sim.DefaultConfig(2)
+		cfg.Parallelism = parallelism
+		cfg.WarmupInstructions = warm
+		traces := []trace.Reader{loopTrace("loop-a", lines, length), loopTrace("loop-b", lines, length)}
+		sys, err := sim.New(cfg, traces, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(target, 0)
+	}
+	cold := run(0, 0)
+	warmA := run(0, length)
+	warmB := run(4, length)
+
+	aj, _ := json.Marshal(warmA)
+	bj, _ := json.Marshal(warmB)
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("warmed run differs serial vs parallel\n got: %s\nwant: %s", bj, aj)
+	}
+	// One warmup revolution touched the full working set, so the timed
+	// region must see (almost) none of the cold run's compulsory misses.
+	if w, c := warmA.Cores[0].L1D.Misses, cold.Cores[0].L1D.Misses; w >= c {
+		t.Errorf("warmup did not reduce L1D misses: warm %d >= cold %d", w, c)
+	}
+	// Counter hygiene: warmup's own accesses must not be visible in the
+	// timed stats (both runs retire the same target).
+	if w, c := warmA.Cores[0].L1D.Accesses, cold.Cores[0].L1D.Accesses; w > c {
+		t.Errorf("warmup traffic leaked into timed stats: %d accesses > cold %d", w, c)
+	}
+	// The warmed run must be faster end to end, not just miss less.
+	if w, c := warmA.Cores[0].Cycles, cold.Cores[0].Cycles; w >= c {
+		t.Errorf("warmup did not speed up the timed region: %d cycles >= %d", w, c)
+	}
+	// WarmupInstructions is a model knob: it must change the
+	// fingerprint (unlike Parallelism, covered below).
+	c0, c1 := sim.DefaultConfig(2), sim.DefaultConfig(2)
+	c1.WarmupInstructions = 1000
+	if c0.Fingerprint() == c1.Fingerprint() {
+		t.Error("WarmupInstructions did not change the fingerprint")
+	}
+}
+
+// TestParallelismOutsideFingerprint: the execution knob must not change
+// config identity (server job keys, experiment caches).
+func TestParallelismOutsideFingerprint(t *testing.T) {
+	a, b := sim.DefaultConfig(4), sim.DefaultConfig(4)
+	b.Parallelism = 8
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("Parallelism changed the fingerprint")
+	}
+}
+
+// TestParallelWorkersEligibility pins the serial-fallback rules.
+func TestParallelWorkersEligibility(t *testing.T) {
+	build := func(cores, par int, ctrl sim.Controller) *sim.System {
+		t.Helper()
+		names := []string{"spec06.libquantum", "spec06.mcf", "spec17.cactuBSSN", "spec06.cactusADM"}
+		specs := make([]workload.Spec, cores)
+		for i := 0; i < cores; i++ {
+			sp, err := workload.ByName(names[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs[i] = sp
+		}
+		cfg := sim.DefaultConfig(cores)
+		cfg.Parallelism = par
+		sys, err := sim.New(cfg, workload.Mix{Specs: specs}.Traces(), ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	bandit := func(shared, timeline bool) sim.Controller {
+		cfg := core.DefaultBanditConfig()
+		cfg.SharedReward = shared
+		cfg.RecordTimeline = timeline
+		return core.NewBandit(cfg)
+	}
+
+	cases := []struct {
+		name  string
+		cores int
+		par   int
+		ctrl  sim.Controller
+		want  int
+	}{
+		{"serial-knob", 4, 0, sim.NoPrefetchController(), 0},
+		{"one-core", 1, 8, sim.NoPrefetchController(), 0},
+		{"fixed", 4, 8, sim.NoPrefetchController(), 4}, // capped at cores
+		{"fixed-partial", 4, 2, sim.NoPrefetchController(), 2},
+		{"bandit-local", 4, 8, bandit(false, false), 4},
+		{"bandit-shared", 4, 8, bandit(true, false), 0},   // reads all cores mid-epoch
+		{"bandit-timeline", 4, 8, bandit(false, true), 0}, // shared timeline slice
+		{"mumama", 4, 8, core.NewMuMama(core.DefaultMuMamaConfig()), 0},
+	}
+	for _, tc := range cases {
+		if got := build(tc.cores, tc.par, tc.ctrl).ParallelWorkers(); got != tc.want {
+			t.Errorf("%s: ParallelWorkers = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestParallelismFromEnv pins the env-knob parsing the binaries' flag
+// defaults rely on.
+func TestParallelismFromEnv(t *testing.T) {
+	cases := []struct {
+		val  string
+		def  int
+		want int
+	}{
+		{"", 3, 3},      // unset → default
+		{"0", -1, 0},    // explicit serial
+		{"6", 0, 6},     // explicit width
+		{"auto", 0, -1}, // auto token
+		{"-1", 0, -1},   // numeric auto
+		{"bogus", 2, 2}, // unparsable → default
+	}
+	for _, tc := range cases {
+		t.Setenv(sim.EnvParallelism, tc.val)
+		if got := sim.ParallelismFromEnv(tc.def); got != tc.want {
+			t.Errorf("ParallelismFromEnv(%q, def=%d) = %d, want %d", tc.val, tc.def, got, tc.want)
+		}
+	}
+}

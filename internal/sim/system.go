@@ -32,6 +32,21 @@ type System struct {
 
 	frozen int // cores that reached their instruction target
 
+	// Persistent epoch-loop state, so stepping is resumable: RunContext
+	// and the chunked Advance API share one clock.
+	epochEnd uint64 // upper cycle bound of the next epoch to run
+	epochs   uint64 // epochs completed
+	warmed   bool   // functional warmup already performed
+
+	// Parallel epoch engine (nil while on the serial path); see
+	// parallel.go.
+	par          *parRunner
+	parEpochs    uint64
+	pubParEpochs uint64
+
+	pubInstr  uint64 // totals already published to telemetry
+	pubEpochs uint64
+
 	lastBWCycle uint64
 	lastBWBusy  uint64
 	recentUtil  float64
@@ -61,6 +76,7 @@ func New(cfg Config, traces []trace.Reader, ctrl Controller) (*System, error) {
 	for i := range s.cores {
 		s.cores[i] = newCore(s, i, traces[i], ctrl.Engine(i))
 	}
+	s.epochEnd = cfg.Epoch
 	return s, nil
 }
 
@@ -117,43 +133,124 @@ const ctxCheckEpochs = 256
 // early and returns the partial Result alongside ctx.Err(). Callers
 // that need a hard per-job bound (the mamaserved worker pool) combine
 // this with context.WithTimeout.
+//
+// When Config.Parallelism admits it (see startParallel), per-core work
+// runs on worker goroutines between epoch boundaries; the result is
+// bit-identical to the serial path either way. The workers are retired
+// before RunContext returns, so a System driven this way never leaks
+// goroutines.
 func (s *System) RunContext(ctx context.Context, target uint64, maxCycles uint64) (Result, error) {
 	simRunsTotal.Inc()
 	simRunsActive.Add(1)
 	defer simRunsActive.Add(-1)
-	epochEnd := s.cfg.Epoch
-	epochs := uint64(0)
+	defer s.stopParallel()
+	s.functionalWarmup()
+	s.startParallel()
 	// Telemetry publication rides the existing context-poll cadence: a
 	// handful of atomic adds every ctxCheckEpochs epochs, nothing inside
 	// Core.advance itself.
-	var pubInstr, pubEpochs uint64
 	for s.frozen < len(s.cores) {
-		for _, c := range s.cores {
-			c.advance(epochEnd, target)
-		}
-		epochEnd += s.cfg.Epoch
-		epochs++
-		if epochs%bwSampleEpochs == 0 {
-			s.sampleBandwidth(epochEnd)
-		}
-		if epochs%ctxCheckEpochs == 0 {
-			pubInstr, pubEpochs = s.publishProgress(pubInstr, pubEpochs, epochs)
+		s.stepEpoch(target)
+		if s.epochs%ctxCheckEpochs == 0 {
+			s.publishProgress()
 			if err := ctx.Err(); err != nil {
 				s.finishRunTelemetry()
 				return s.Result(target), err
 			}
 		}
-		if maxCycles > 0 && epochEnd > maxCycles {
+		if maxCycles > 0 && s.epochEnd > maxCycles {
 			break
 		}
 	}
-	s.publishProgress(pubInstr, pubEpochs, epochs)
+	s.publishProgress()
 	s.finishRunTelemetry()
 	return s.Result(target), nil
 }
 
+// Advance is the chunked stepping API: it runs at most epochs further
+// simulation epochs toward target and reports whether every core has
+// now reached it. Unlike RunContext it neither publishes run telemetry
+// nor retires the parallel workers between calls — steady-state
+// stepping is allocation-free — so callers that stop before completion
+// must Close the system. The first call performs functional warmup and
+// spins up the parallel engine if configured.
+func (s *System) Advance(target uint64, epochs uint64) bool {
+	s.functionalWarmup()
+	s.startParallel()
+	for i := uint64(0); i < epochs; i++ {
+		if s.frozen >= len(s.cores) {
+			return true
+		}
+		s.stepEpoch(target)
+	}
+	return s.frozen >= len(s.cores)
+}
+
+// stepEpoch advances every core through one epoch — serially or on the
+// parallel runner — then performs the boundary work that must see all
+// cores quiescent. Both paths share this function, so their boundary
+// behavior is structurally identical.
+func (s *System) stepEpoch(target uint64) {
+	if s.par != nil {
+		s.par.runEpoch(s.epochEnd, target)
+		s.parEpochs++
+	} else {
+		for _, c := range s.cores {
+			c.advance(s.epochEnd, target)
+		}
+	}
+	s.epochEnd += s.cfg.Epoch
+	s.epochs++
+	s.recountFrozen()
+	if s.epochs%bwSampleEpochs == 0 {
+		s.sampleBandwidth(s.epochEnd)
+	}
+}
+
+// recountFrozen refreshes the frozen-core count at an epoch boundary.
+// Freezing itself is core-local (advance may run off the owner
+// goroutine), so the count is recomputed here rather than incremented
+// at freeze time.
+func (s *System) recountFrozen() {
+	n := 0
+	for _, c := range s.cores {
+		if c.frozenAt != 0 {
+			n++
+		}
+	}
+	s.frozen = n
+}
+
+// Close retires the parallel engine's worker goroutines, if running.
+// RunContext does this itself on every exit path; only callers driving
+// the system through Advance need to Close explicitly. The system
+// remains usable afterwards (a later run restarts the engine). Safe to
+// call repeatedly.
+func (s *System) Close() { s.stopParallel() }
+
+// functionalWarmup fast-forwards every core through
+// Config.WarmupInstructions in content-only mode, then clears the cache
+// counters so the timed region starts from warm arrays but zeroed
+// stats. Runs once, serially and in core order (so it is deterministic
+// and needs no arbitration), before the parallel engine starts.
+func (s *System) functionalWarmup() {
+	if s.warmed || s.cfg.WarmupInstructions == 0 {
+		return
+	}
+	s.warmed = true
+	for _, c := range s.cores {
+		c.warmupAdvance(s.cfg.WarmupInstructions)
+	}
+	for _, c := range s.cores {
+		c.l1i.ResetStats()
+		c.l1d.ResetStats()
+		c.l2.ResetStats()
+	}
+	s.llc.ResetStats()
+}
+
 func (s *System) sampleBandwidth(now uint64) {
-	busy := s.dram.Stats().BusBusyCycles
+	busy := s.dram.BusBusy()
 	dc := now - s.lastBWCycle
 	db := busy - s.lastBWBusy
 	if dc > 0 {
@@ -169,6 +266,55 @@ func (s *System) sampleBandwidth(now uint64) {
 		}
 	}
 }
+
+// startParallel spins up the parallel epoch engine when the
+// configuration and controller admit it; otherwise the system stays on
+// the serial reference path. Eligibility: Parallelism >= 1, at least
+// two cores (a 1-core system has nothing to overlap and always runs
+// serially), and a controller that declares its demand hook core-local
+// (CoreLocalController) — controllers that mutate cross-core state on
+// demand accesses, like µMama's arbiter, silently fall back to serial.
+func (s *System) startParallel() {
+	if s.par != nil || s.ParallelWorkers() == 0 {
+		return
+	}
+	s.par = newParRunner(s)
+	simParRunsTotal.Inc()
+}
+
+// stopParallel retires the worker goroutines and returns the system to
+// the serial path. Idempotent.
+func (s *System) stopParallel() {
+	if s.par == nil {
+		return
+	}
+	s.par.stop()
+	s.par = nil
+	for _, c := range s.cores {
+		c.par = nil
+	}
+}
+
+// ParallelWorkers reports the concurrency the parallel engine runs (or
+// would run) with; 0 means the serial reference path.
+func (s *System) ParallelWorkers() int {
+	if s.cfg.Parallelism < 1 || len(s.cores) < 2 {
+		return 0
+	}
+	cl, ok := s.controller.(CoreLocalController)
+	if !ok || !cl.CoreLocalDemand() {
+		return 0
+	}
+	p := s.cfg.Parallelism
+	if p > len(s.cores) {
+		p = len(s.cores)
+	}
+	return p
+}
+
+// ParallelEpochs reports how many epochs the parallel engine has
+// executed (tests use this to assert which path actually ran).
+func (s *System) ParallelEpochs() uint64 { return s.parEpochs }
 
 // CoreResult reports one core's frozen-at-target statistics.
 type CoreResult struct {

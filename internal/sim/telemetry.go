@@ -16,6 +16,10 @@ var (
 		"Instructions committed across all cores of all simulations.")
 	simEpochsTotal = telemetry.Default().Counter("mama_sim_epochs_total",
 		"Simulation epochs advanced across all simulations.")
+	simParRunsTotal = telemetry.Default().Counter("mama_sim_parallel_runs_total",
+		"Simulations that started the parallel epoch engine.")
+	simParEpochsTotal = telemetry.Default().Counter("mama_sim_parallel_epochs_total",
+		"Simulation epochs executed by the parallel epoch engine.")
 	simPrefIssuedL1 = telemetry.Default().Counter("mama_sim_prefetches_issued_total",
 		"Prefetches issued, by cache level.", telemetry.L("level", "l1"))
 	simPrefIssuedL2 = telemetry.Default().Counter("mama_sim_prefetches_issued_total",
@@ -49,13 +53,14 @@ func (s *System) committedInstructions() uint64 {
 }
 
 // publishProgress pushes the instruction and epoch deltas accumulated
-// since the last publication; pubInstr/pubEpochs are the totals already
-// published, and the new totals are returned for the next call.
-func (s *System) publishProgress(pubInstr, pubEpochs, epochs uint64) (uint64, uint64) {
+// since the last publication (the published totals persist on the
+// System, so resumed runs keep publishing deltas correctly).
+func (s *System) publishProgress() {
 	instr := s.committedInstructions()
-	simInstrTotal.Add(instr - pubInstr)
-	simEpochsTotal.Add(epochs - pubEpochs)
-	return instr, epochs
+	simInstrTotal.Add(instr - s.pubInstr)
+	simEpochsTotal.Add(s.epochs - s.pubEpochs)
+	simParEpochsTotal.Add(s.parEpochs - s.pubParEpochs)
+	s.pubInstr, s.pubEpochs, s.pubParEpochs = instr, s.epochs, s.parEpochs
 }
 
 // finishRunTelemetry publishes end-of-run totals that are too expensive
