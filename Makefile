@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race chaos sweep-smoke check bench bench-smoke bench-baseline bench-paper figures examples clean
+.PHONY: all build vet fmt fmt-check test race chaos sweep-smoke cluster-smoke check bench bench-smoke bench-baseline bench-paper figures examples clean
 
 all: check
 
@@ -45,13 +45,22 @@ chaos:
 sweep-smoke:
 	$(GO) run ./scripts/sweepsmoke
 
+# Three sharded in-process nodes driven end to end: a cold sweep
+# submitted to node A is routed across the consistent-hash ring (every
+# cell simulated exactly once cluster-wide), then the same cells
+# resubmitted to node C complete with zero new simulations, served by
+# cross-shard cache fetches from the owning nodes. See
+# scripts/clustersmoke.
+cluster-smoke:
+	$(GO) run ./scripts/clustersmoke
+
 # The default gate: compile everything, vet, check formatting, run the
 # test suite, re-run it under the race detector, run the chaos suite
 # with fault injection enabled, drive a real sweep end to end, then
 # make sure the hot-path benchmarks still run and stay allocation-free
 # (1 iteration; catches bit-rot and alloc regressions, not timing
 # regressions).
-check: build vet fmt-check test race chaos sweep-smoke bench-smoke
+check: build vet fmt-check test race chaos sweep-smoke cluster-smoke bench-smoke
 
 # Hot-path benchmark suite: cache/MSHR microbenchmarks, the per-core
 # advance benchmarks, and end-to-end simulator throughput, compared

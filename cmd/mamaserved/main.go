@@ -39,9 +39,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"micromama/internal/cluster"
 	"micromama/internal/server"
 	"micromama/internal/sim"
 	"micromama/internal/telemetry"
@@ -63,10 +65,49 @@ func main() {
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs before cancelling them")
 		logLevel   = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
 		logFormat  = flag.String("log-format", "text", "structured-log format: text|json")
+
+		// Cluster membership (see docs/ARCHITECTURE.md, "Cluster &
+		// sharding"). Every node must be handed the same peer set; the
+		// ring is computed deterministically from it, no coordination.
+		peers         = flag.String("peers", "", "comma-separated peer URLs forming a sharded cluster (include or omit this node; it is added automatically)")
+		membership    = flag.String("membership", "", "JSON membership file: a bare array of peer URLs or {\"peers\": [...]} (alternative to -peers)")
+		advertise     = flag.String("advertise", "", "this node's URL as peers reach it (e.g. http://10.0.0.5:8077); required with -peers/-membership")
+		vnodes        = flag.Int("vnodes", 0, "virtual nodes per peer on the consistent-hash ring (0 = 128)")
+		stealInterval = flag.Duration("steal-interval", 0, "how often an idle node polls peers for queued sweep cells (0 = 250ms; negative disables work stealing)")
 	)
 	flag.Parse()
 
 	logger := telemetry.NewLogger(*logLevel, *logFormat)
+
+	var cl *cluster.Cluster
+	if *peers != "" || *membership != "" {
+		if *advertise == "" {
+			fmt.Fprintln(os.Stderr, "mamaserved: -advertise is required with -peers/-membership")
+			os.Exit(2)
+		}
+		list := []string{}
+		if *membership != "" {
+			var err error
+			list, err = cluster.LoadMembership(*membership)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mamaserved:", err)
+				os.Exit(1)
+			}
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		var err error
+		cl, err = cluster.New(*advertise, list, cluster.Options{Vnodes: *vnodes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mamaserved:", err)
+			os.Exit(1)
+		}
+		logger.Info("cluster configured", "self", cl.Self(),
+			"peers", len(cl.Peers()), "ring_size", cl.Size())
+	}
 
 	if *traceCache != "" {
 		n, errs := trace.DefaultPool().PreloadDir(*traceCache)
@@ -86,6 +127,8 @@ func main() {
 		SimParallelism: *simPar,
 		CacheDir:       *cacheDir,
 		Logger:         logger,
+		Cluster:        cl,
+		StealInterval:  *stealInterval,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mamaserved:", err)

@@ -8,6 +8,14 @@
 // idempotent because jobs are content-addressed — resubmitting an
 // identical spec lands on the same job ID via the server's cache and
 // singleflight dedup, never a second simulation.
+//
+// Against a sharded cluster the client is owner-sticky: when a node
+// answers with X-Mama-Owner (it proxied the request to the shard that
+// owns the key, or it is the owner itself), subsequent requests go
+// straight to that owner, skipping the extra proxy hop. A transport
+// failure against the preferred owner clears the preference and falls
+// back to the seed base URL, where the normal retry/backoff machinery
+// (and the cluster's own degraded-local path) takes over.
 package client
 
 import (
@@ -21,7 +29,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"micromama/internal/cluster"
 )
 
 // Options tunes a Client. Zero values select sane defaults.
@@ -42,6 +53,22 @@ type Options struct {
 	HTTPClient *http.Client
 }
 
+// newTransport is the client's default tuned transport. The stock
+// http.DefaultTransport caps idle connections per host at 2, which
+// forces a fresh TCP handshake on nearly every call of a polling
+// client (WaitJob, sweep streaming); an explicit per-host idle pool
+// keeps connections alive across the submit→poll→fetch cycle.
+func newTransport() *http.Transport {
+	return &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		ForceAttemptHTTP2:   true,
+		MaxIdleConns:        128,
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
+		DisableKeepAlives:   false,
+	}
+}
+
 // Client is a retrying mamaserved API client. Safe for concurrent use.
 type Client struct {
 	base       string
@@ -49,6 +76,13 @@ type Client struct {
 	maxRetries int
 	baseDelay  time.Duration
 	maxDelay   time.Duration
+
+	// preferred holds the base URL of the cluster node that owns the
+	// keys this client is working with, learned from X-Mama-Owner
+	// response headers (empty string = use the seed base). It is a
+	// best-effort routing hint: wrong or stale values still work,
+	// because every node proxies to the true owner.
+	preferred atomic.Value // string
 
 	// sleep is swapped by tests to observe backoff without waiting.
 	sleep func(ctx context.Context, d time.Duration) error
@@ -73,9 +107,9 @@ func New(base string, opts Options) *Client {
 	}
 	hc := opts.HTTPClient
 	if hc == nil {
-		hc = &http.Client{Timeout: opts.Timeout}
+		hc = &http.Client{Timeout: opts.Timeout, Transport: newTransport()}
 	}
-	return &Client{
+	c := &Client{
 		base:       strings.TrimRight(base, "/"),
 		hc:         hc,
 		maxRetries: opts.MaxRetries,
@@ -83,6 +117,8 @@ func New(base string, opts Options) *Client {
 		maxDelay:   opts.MaxDelay,
 		sleep:      sleepCtx,
 	}
+	c.preferred.Store("")
+	return c
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -191,12 +227,36 @@ type attemptResult struct {
 	body   []byte
 }
 
+// baseURL picks the request target: the learned cluster owner when one
+// is set, otherwise the seed base.
+func (c *Client) baseURL() string {
+	if p, _ := c.preferred.Load().(string); p != "" {
+		return p
+	}
+	return c.base
+}
+
+// observeOwner records (or clears) the owner hint from a response. A
+// hint equal to the seed base is stored as "no preference" so peer
+// death can never strand the client away from its configured server.
+func (c *Client) observeOwner(h http.Header) {
+	owner := strings.TrimRight(strings.TrimSpace(h.Get(cluster.HeaderOwner)), "/")
+	if owner == "" {
+		return
+	}
+	if owner == c.base {
+		owner = ""
+	}
+	c.preferred.Store(owner)
+}
+
 func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (attemptResult, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	target := c.baseURL()
+	req, err := http.NewRequestWithContext(ctx, method, target+path, rd)
 	if err != nil {
 		return attemptResult{}, err
 	}
@@ -205,9 +265,16 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		// Transport failure against a learned owner: drop the hint so the
+		// retry goes back to the seed base, whose cluster logic degrades
+		// to local compute if the owner really is down.
+		if target != c.base {
+			c.preferred.CompareAndSwap(target, "")
+		}
 		return attemptResult{}, err
 	}
 	defer resp.Body.Close()
+	c.observeOwner(resp.Header)
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return attemptResult{}, err

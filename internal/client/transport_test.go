@@ -1,0 +1,160 @@
+package client
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"micromama/internal/cluster"
+)
+
+// countingServer is an httptest server that counts fresh TCP
+// connections via the ConnState hook — the observable difference
+// between a keep-alive client and one that redials per request.
+func countingServer(t testing.TB, h http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var newConns atomic.Int64
+	ts := httptest.NewUnstartedServer(h)
+	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			newConns.Add(1)
+		}
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return ts, &newConns
+}
+
+// TestConnectionReuse proves the tuned default transport keeps the
+// connection alive across a polling-style sequence of requests: 50
+// sequential calls must not open 50 sockets.
+func TestConnectionReuse(t *testing.T) {
+	ts, newConns := countingServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	c := New(ts.URL, Options{})
+	ctx := context.Background()
+	const calls = 50
+	for i := 0; i < calls; i++ {
+		resp, err := c.Get(ctx, "/v1/stats")
+		if err != nil || resp.Status != http.StatusOK {
+			t.Fatalf("call %d: status=%v err=%v", i, resp, err)
+		}
+	}
+	if got := newConns.Load(); got > 3 {
+		t.Fatalf("client opened %d connections for %d sequential requests; want <= 3 (keep-alive reuse)", got, calls)
+	}
+}
+
+// TestOwnerStickyRouting verifies the cluster-awareness protocol: the
+// client follows X-Mama-Owner hints to the owning shard, and a
+// transport failure against the learned owner clears the hint so the
+// next attempt falls back to the seed base.
+func TestOwnerStickyRouting(t *testing.T) {
+	var ownerHits, seedHits atomic.Int64
+
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ownerHits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer owner.Close()
+
+	var advertise atomic.Bool
+	advertise.Store(true)
+	seed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seedHits.Add(1)
+		if advertise.Load() {
+			w.Header().Set(cluster.HeaderOwner, owner.URL)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer seed.Close()
+
+	c := New(seed.URL, Options{})
+	c.sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	ctx := context.Background()
+
+	// First call lands on the seed, which names the owner.
+	if _, err := c.Get(ctx, "/v1/jobs/j1"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.preferred.Load().(string); got != owner.URL {
+		t.Fatalf("preferred = %q; want owner %q", got, owner.URL)
+	}
+
+	// Subsequent calls go straight to the owner.
+	if _, err := c.Get(ctx, "/v1/jobs/j1"); err != nil {
+		t.Fatal(err)
+	}
+	if seedHits.Load() != 1 || ownerHits.Load() != 1 {
+		t.Fatalf("seed=%d owner=%d hits; want 1/1", seedHits.Load(), ownerHits.Load())
+	}
+
+	// Owner dies: the transport failure clears the hint and the retry
+	// machinery lands the same logical call back on the seed.
+	owner.Close()
+	advertise.Store(false)
+	resp, err := c.Get(ctx, "/v1/jobs/j1")
+	if err != nil || resp.Status != http.StatusOK {
+		t.Fatalf("after owner death: resp=%v err=%v", resp, err)
+	}
+	if got, _ := c.preferred.Load().(string); got != "" {
+		t.Fatalf("preferred = %q after owner death; want cleared", got)
+	}
+	if seedHits.Load() != 2 {
+		t.Fatalf("seed hits = %d; want 2 (fallback after owner death)", seedHits.Load())
+	}
+}
+
+// TestOwnerHintEqualSeedIsNoop: a node advertising itself as owner must
+// not be stored as a "preference" — the seed base already points there.
+func TestOwnerHintEqualSeedIsNoop(t *testing.T) {
+	var ts *httptest.Server
+	ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(cluster.HeaderOwner, ts.URL)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Options{})
+	if _, err := c.Get(context.Background(), "/v1/stats"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.preferred.Load().(string); got != "" {
+		t.Fatalf("preferred = %q; want empty (self-owner hint)", got)
+	}
+}
+
+// BenchmarkClientConnReuse measures request throughput over the tuned
+// keep-alive transport versus a deliberately non-reusing one; the
+// per-op delta is the dial+handshake cost the default now avoids.
+func BenchmarkClientConnReuse(b *testing.B) {
+	ts, _ := countingServer(b, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	ctx := context.Background()
+
+	b.Run("keepalive", func(b *testing.B) {
+		c := New(ts.URL, Options{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Get(ctx, "/v1/stats"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("no-keepalive", func(b *testing.B) {
+		tr := newTransport()
+		tr.DisableKeepAlives = true
+		c := New(ts.URL, Options{HTTPClient: &http.Client{Transport: tr}})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Get(ctx, "/v1/stats"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"micromama/internal/faultinject"
+)
+
+// TestBreaker: consecutive RPC failures open the breaker, a cooldown
+// expiry lets a probe through, and a success closes it again.
+func TestBreaker(t *testing.T) {
+	c, err := New("http://self:1", []string{"http://peer:1"}, Options{
+		FailureThreshold: 3, Cooldown: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const peer = "http://peer:1"
+	if !c.Healthy(peer) {
+		t.Fatal("fresh peer should be healthy")
+	}
+	c.ReportFailure(peer)
+	c.ReportFailure(peer)
+	if !c.Healthy(peer) {
+		t.Fatal("peer unhealthy below the failure threshold")
+	}
+	c.ReportFailure(peer)
+	if c.Healthy(peer) {
+		t.Fatal("breaker did not open at the threshold")
+	}
+	if got := c.UnhealthyPeers(); len(got) != 1 || got[0] != peer {
+		t.Fatalf("UnhealthyPeers = %v, want [%s]", got, peer)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !c.Healthy(peer) {
+		t.Fatal("breaker did not admit a probe after cooldown")
+	}
+	c.ReportSuccess(peer)
+	c.ReportFailure(peer) // one failure after success: closed again
+	if !c.Healthy(peer) {
+		t.Fatal("success did not reset the failure count")
+	}
+}
+
+// TestDoFeedsBreaker: transport failures open the breaker through Do,
+// and any HTTP answer (even a 500) closes it — an answering peer is
+// alive.
+func TestDoFeedsBreaker(t *testing.T) {
+	var status atomic.Int32
+	status.Store(http.StatusInternalServerError)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(HeaderForwarded) == "" {
+			t.Error("peer RPC missing the forwarded header")
+		}
+		w.WriteHeader(int(status.Load()))
+	}))
+	defer ts.Close()
+
+	c, err := New("http://self:1", []string{ts.URL}, Options{FailureThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if code, _, err := c.Do(ctx, ts.URL, http.MethodGet, "/x", nil); err != nil || code != http.StatusInternalServerError {
+		t.Fatalf("Do = (%d, %v), want (500, nil)", code, err)
+	}
+	if !c.Healthy(ts.URL) {
+		t.Fatal("an answering peer must stay healthy")
+	}
+
+	dead, _ := New("http://self:1", []string{"http://127.0.0.1:1"}, Options{
+		FailureThreshold: 1, RPCTimeout: 200 * time.Millisecond,
+	})
+	if _, _, err := dead.Do(ctx, "http://127.0.0.1:1", http.MethodGet, "/x", nil); err == nil {
+		t.Fatal("Do against a dead peer succeeded")
+	}
+	if dead.Healthy("http://127.0.0.1:1") {
+		t.Fatal("transport failure did not open the breaker")
+	}
+}
+
+// TestPartitionFault: the cluster/rpc/partition site fails RPCs
+// without touching the network and feeds the breaker.
+func TestPartitionFault(t *testing.T) {
+	hits := atomic.Int32{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer ts.Close()
+	restore, err := faultinject.Enable("cluster/rpc/partition", "always")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
+	c, _ := New("http://self:1", []string{ts.URL}, Options{FailureThreshold: 1})
+	if _, _, err := c.Do(context.Background(), ts.URL, http.MethodGet, "/x", nil); err == nil {
+		t.Fatal("partitioned RPC succeeded")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("partitioned RPC reached the peer")
+	}
+	if c.Healthy(ts.URL) {
+		t.Fatal("partition did not open the breaker")
+	}
+}
+
+// TestPeerDownFault: the cluster/peer/down site forces Healthy()
+// false, the shard-death chaos hook.
+func TestPeerDownFault(t *testing.T) {
+	restore, err := faultinject.Enable("cluster/peer/down", "always")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+	c, _ := New("http://self:1", []string{"http://peer:1"}, Options{})
+	if c.Healthy("http://peer:1") {
+		t.Fatal("peer/down fault did not mark the peer unhealthy")
+	}
+}
+
+// TestLoadMembership covers both accepted file shapes and the error
+// paths.
+func TestLoadMembership(t *testing.T) {
+	dir := t.TempDir()
+	bare := filepath.Join(dir, "bare.json")
+	os.WriteFile(bare, []byte(`["http://a:1", "http://b:1"]`), 0o644)
+	obj := filepath.Join(dir, "obj.json")
+	os.WriteFile(obj, []byte(`{"peers": ["http://a:1"]}`), 0o644)
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"peers": 7}`), 0o644)
+
+	if got, err := LoadMembership(bare); err != nil || len(got) != 2 {
+		t.Fatalf("bare array: (%v, %v)", got, err)
+	}
+	if got, err := LoadMembership(obj); err != nil || len(got) != 1 {
+		t.Fatalf("object form: (%v, %v)", got, err)
+	}
+	if _, err := LoadMembership(bad); err == nil {
+		t.Fatal("malformed membership file accepted")
+	}
+	if _, err := LoadMembership(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing membership file accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func peersN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node-%c.example:80%02d", 'a'+i, i)
+	}
+	return out
+}
+
+func keysN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// 16-hex-digit routing prefixes, the shape production keys have.
+		out[i] = fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15+7)
+	}
+	return out
+}
+
+// TestRingDistribution bounds the key-load imbalance across 3-, 5-,
+// and 8-node rings at the default vnode count: with 20k keys no node
+// may hold more than 1.6x or less than 0.5x its fair share. (Measured
+// ratios sit near 1.15/0.85; the asserted bounds leave room for a
+// different key population without letting real skew pass.)
+func TestRingDistribution(t *testing.T) {
+	keys := keysN(20000)
+	for _, n := range []int{3, 5, 8} {
+		r := NewRing(peersN(n), 0)
+		load := make(map[string]int)
+		for _, k := range keys {
+			owner := r.Owner(k)
+			if owner == "" {
+				t.Fatalf("%d nodes: key %q has no owner", n, k)
+			}
+			load[owner]++
+		}
+		if len(load) != n {
+			t.Fatalf("%d nodes: only %d received keys: %v", n, len(load), load)
+		}
+		fair := float64(len(keys)) / float64(n)
+		for p, got := range load {
+			ratio := float64(got) / fair
+			if ratio > 1.6 || ratio < 0.5 {
+				t.Errorf("%d nodes: %s holds %d keys (%.2fx fair share), outside [0.5, 1.6]",
+					n, p, got, ratio)
+			}
+		}
+	}
+}
+
+// TestRingMinimalRemap pins the consistent-hashing contract: removing
+// one node of five remaps exactly the keys it owned — every key owned
+// by a surviving node keeps its owner — and the orphaned keys scatter
+// across the survivors instead of piling onto one.
+func TestRingMinimalRemap(t *testing.T) {
+	peers := peersN(5)
+	before := NewRing(peers, 0)
+	after := NewRing(peers[1:], 0) // drop node a
+	removed := NormalizePeer(peers[0])
+
+	keys := keysN(20000)
+	moved, orphaned := 0, 0
+	heirs := make(map[string]int)
+	for _, k := range keys {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == removed {
+			orphaned++
+			heirs[oa]++
+			continue
+		}
+		if ob != oa {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys owned by surviving nodes changed owner (want 0)", moved)
+	}
+	if orphaned == 0 {
+		t.Fatal("removed node owned no keys; distribution test should have caught this")
+	}
+	// The orphans must spread over all four survivors, not cascade onto
+	// the removed node's ring successor alone.
+	if len(heirs) < 3 {
+		t.Errorf("orphaned keys landed on only %d survivors: %v", len(heirs), heirs)
+	}
+	if frac := float64(orphaned) / float64(len(keys)); frac > 0.35 {
+		t.Errorf("removing 1 of 5 nodes orphaned %.0f%% of keys, want ~20%%", frac*100)
+	}
+}
+
+// TestRingDeterministicOwnership: every node must compute the same
+// ring from the same membership, regardless of list order, duplicate
+// entries, or URL spelling variants.
+func TestRingDeterministicOwnership(t *testing.T) {
+	peers := peersN(5)
+	ref := NewRing(peers, 0)
+
+	shuffled := append([]string(nil), peers...)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10; i++ {
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		r := NewRing(shuffled, 0)
+		for _, k := range keysN(512) {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("shuffle %d: Owner(%q) = %q, want %q", i, k, got, want)
+			}
+		}
+	}
+
+	// Duplicates and trailing slashes collapse to the same ring.
+	messy := append(append([]string(nil), peers...), peers[0]+"/", " "+peers[1])
+	r := NewRing(messy, 0)
+	if got, want := len(r.Peers()), len(peers); got != want {
+		t.Fatalf("messy list produced %d peers, want %d", got, want)
+	}
+	for _, k := range keysN(512) {
+		if got, want := r.Owner(k), ref.Owner(k); got != want {
+			t.Fatalf("messy list: Owner(%q) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestOwnerPrefixRouting: ownership must be computable from a bare job
+// ID, i.e. hashing the full key and hashing its 16-digit routing
+// prefix agree (Owner truncates), and OwnerOfJobID strips the "j".
+func TestOwnerPrefixRouting(t *testing.T) {
+	c, err := New("http://n1:1", []string{"http://n2:1", "http://n3:1"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullKey := "0123456789abcdef" + "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"
+	byKey := c.Owner(fullKey)
+	byID := c.OwnerOfJobID("j0123456789abcdef")
+	if byKey == "" || byKey != byID {
+		t.Fatalf("Owner(key)=%q, OwnerOfJobID(id)=%q; want equal and non-empty", byKey, byID)
+	}
+}
+
+// TestRingSingleNode: a cluster of one routes everything to self.
+func TestRingSingleNode(t *testing.T) {
+	c, err := New("http://only:1", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keysN(64) {
+		if o := c.Owner(k); !c.IsSelf(o) {
+			t.Fatalf("single-node cluster routed %q to %q", k, o)
+		}
+	}
+	if got := c.Peers(); len(got) != 0 {
+		t.Fatalf("single-node cluster lists peers: %v", got)
+	}
+}

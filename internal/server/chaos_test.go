@@ -37,6 +37,8 @@ func TestFaultSiteCoverage(t *testing.T) {
 		"server/sweep/persist-write",
 		"server/sweep/persist-read",
 		"server/sweep/worker-kill",
+		"cluster/rpc/partition",
+		"cluster/peer/down",
 	}
 	registered := make(map[string]bool)
 	for _, name := range faultinject.Sites() {

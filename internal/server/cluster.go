@@ -1,0 +1,934 @@
+// Cluster integration: this file is everything mamaserved does when it
+// is one node of a sharded cluster (Config.Cluster != nil).
+//
+// Three mechanisms, all built on the consistent-hash ring in
+// internal/cluster and the content-addressed job key:
+//
+//   - Routing. Any node accepts any request. Interactive submissions
+//     resolve the job key, look up the owning peer, and proxy there —
+//     the owner's cache and singleflight see every copy of a job, so
+//     the cluster computes each key at most once. Lookups by job ID
+//     route the same way (the ID embeds the key's routing prefix). A
+//     dead or partitioned owner degrades to local compute: slower,
+//     never an error.
+//
+//   - Distributed result cache. The owner is the authoritative copy of
+//     a key's result. Sweep admission batch-fetches remote-owned keys
+//     from their owners (one RPC per peer), so a warm cluster dedupes
+//     a resubmitted sweep entirely at admission, no matter which node
+//     receives it. Nodes that compute a key they do not own (degraded
+//     or stolen work) push the result back to the owner best-effort.
+//
+//   - Work stealing. An idle node polls busy peers for queued sweep
+//     cells. The victim dispatches through the sweep manager's own
+//     TryDequeue — which skips cached and inflight keys — so only
+//     same-key-absent work can be stolen and dedupe semantics survive.
+//     Stolen cells are tracked as leases on the victim; a thief that
+//     dies mid-cell simply lets the lease expire and the cell returns
+//     to pending. Results are bit-identical wherever they run, so a
+//     late report after an expired lease is still a valid cache fill.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"micromama/internal/cluster"
+	"micromama/internal/sweep"
+	"micromama/internal/telemetry"
+)
+
+// errPeerUnavailable marks a cell outcome caused by the owning peer
+// being unreachable, not by the simulation: the sweep manager treats it
+// as transient and the cell re-runs (locally, once the breaker opens).
+var errPeerUnavailable = errors.New("cluster: owning peer unavailable")
+
+// clusterMetrics is the mama_cluster_* instrument set. Aggregate
+// counters feed /v1/stats; the per-peer series (label "peer") feed
+// /metrics so an operator can see which shard is slow, dead, or being
+// farmed for work.
+type clusterMetrics struct {
+	reg *telemetry.Registry
+
+	proxied      *telemetry.Counter // requests forwarded to their owner
+	proxyErrors  *telemetry.Counter // forwards that failed in transport
+	degraded     *telemetry.Counter // owner down: computed locally instead
+	remoteHits   *telemetry.Counter // results fetched from owning peers
+	remoteMisses *telemetry.Counter // remote lookups that found nothing
+	remoteCells  *telemetry.Counter // sweep cells executed on their owner
+	cacheServed  *telemetry.Counter // cache entries served to peers
+	writebacks   *telemetry.Counter // non-owned results pushed to owners
+	stealsOut    *telemetry.Counter // cells this node stole from peers
+	stealsIn     *telemetry.Counter // cells peers stole from this node
+	stealExpired *telemetry.Counter // stolen-cell leases that expired
+}
+
+func newClusterMetrics(r *telemetry.Registry) *clusterMetrics {
+	return &clusterMetrics{
+		reg: r,
+		proxied: r.Counter("mama_cluster_proxied_total",
+			"Requests forwarded to their owning peer."),
+		proxyErrors: r.Counter("mama_cluster_proxy_errors_total",
+			"Forwards that failed in transport (owner dead or partitioned)."),
+		degraded: r.Counter("mama_cluster_degraded_local_total",
+			"Requests computed locally because the owner was unreachable."),
+		remoteHits: r.Counter("mama_cluster_remote_cache_hits_total",
+			"Results fetched from owning peers' caches (cross-shard hits)."),
+		remoteMisses: r.Counter("mama_cluster_remote_cache_misses_total",
+			"Remote cache lookups that found nothing."),
+		remoteCells: r.Counter("mama_cluster_remote_cells_total",
+			"Sweep cells executed on their owning peer instead of locally."),
+		cacheServed: r.Counter("mama_cluster_cache_served_total",
+			"Cache entries this node served to peers."),
+		writebacks: r.Counter("mama_cluster_writebacks_total",
+			"Results computed off-owner and pushed back to the owning peer."),
+		stealsOut: r.Counter("mama_cluster_steals_out_total",
+			"Sweep cells this node stole from deep-queued peers."),
+		stealsIn: r.Counter("mama_cluster_steals_in_total",
+			"Sweep cells peers stole from this node's queue."),
+		stealExpired: r.Counter("mama_cluster_steal_leases_expired_total",
+			"Stolen-cell leases that expired without a report (thief died)."),
+	}
+}
+
+// perPeer bumps the labeled sibling of an aggregate counter. The
+// registry deduplicates by (name, labels), so this is cheap after the
+// first call per peer.
+func (cm *clusterMetrics) perPeer(name, help, peer string) {
+	cm.reg.Counter(name, help, telemetry.L("peer", peer)).Inc()
+}
+
+// leaseKey identifies one stolen cell on the victim.
+type leaseKey struct {
+	sweep string
+	index int
+}
+
+// stolenLease is the victim-side record of a cell handed to a thief.
+type stolenLease struct {
+	t       sweep.Ticket
+	peer    string
+	expires time.Time
+}
+
+// longPollWait is how long a remote-cell result poll asks the owner to
+// hold the request open (?wait=). Completions come back in one
+// round-trip; only cells slower than this fall back to re-polling.
+var longPollWait = 2 * time.Second
+
+// clusterState is the per-server cluster runtime: the ring + breaker
+// view, remote-execution slots, the stolen-cell lease table, and the
+// background stealer/janitor goroutines.
+type clusterState struct {
+	s *Server
+	c *cluster.Cluster
+	m *clusterMetrics
+
+	sem        chan struct{}            // bounds concurrent remote cell executions
+	peerSem    map[string]chan struct{} // per-peer in-flight bound (late binding)
+	pollEvery  time.Duration            // remote job result poll interval
+	stealEvery time.Duration            // thief poll interval; <= 0 disables stealing
+	lease      time.Duration            // stolen-cell lease duration
+	minPending int                      // pending cells a victim keeps for itself
+
+	mu       sync.Mutex
+	leases   map[leaseKey]*stolenLease
+	stealCur int // round-robin cursor over peers
+
+	wg sync.WaitGroup
+}
+
+func newClusterState(s *Server) *clusterState {
+	cfg := s.cfg
+	slots := cfg.RemoteSlots
+	if slots <= 0 {
+		slots = 4 * cfg.Workers
+	}
+	peerSlots := cfg.RemotePeerSlots
+	if peerSlots <= 0 {
+		peerSlots = cfg.Workers
+	}
+	peerSem := make(map[string]chan struct{}, len(cfg.Cluster.Peers()))
+	for _, p := range cfg.Cluster.Peers() {
+		peerSem[p] = make(chan struct{}, peerSlots)
+	}
+	poll := cfg.RemotePollInterval
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	stealEvery := cfg.StealInterval
+	if stealEvery == 0 {
+		stealEvery = 250 * time.Millisecond
+	}
+	lease := cfg.StealLease
+	if lease <= 0 {
+		lease = cfg.DefaultTimeout + 30*time.Second
+	}
+	minPending := cfg.StealMinPending
+	if minPending == 0 {
+		minPending = cfg.Workers
+	} else if minPending < 0 {
+		minPending = 0 // negative: give away everything that is queued
+	}
+	return &clusterState{
+		s:          s,
+		c:          cfg.Cluster,
+		m:          newClusterMetrics(s.reg),
+		sem:        make(chan struct{}, slots),
+		peerSem:    peerSem,
+		pollEvery:  poll,
+		stealEvery: stealEvery,
+		lease:      lease,
+		minPending: minPending,
+		leases:     make(map[leaseKey]*stolenLease),
+	}
+}
+
+// start launches the background goroutines: the lease janitor and (if
+// enabled) the stealer. Both exit when the server's base context is
+// cancelled; wait() joins them and any in-flight remote executions.
+func (cs *clusterState) start() {
+	cs.wg.Add(1)
+	go func() {
+		defer cs.wg.Done()
+		cs.janitorLoop()
+	}()
+	if cs.stealEvery > 0 && len(cs.c.Peers()) > 0 {
+		cs.wg.Add(1)
+		go func() {
+			defer cs.wg.Done()
+			cs.stealLoop()
+		}()
+	}
+}
+
+func (cs *clusterState) wait() { cs.wg.Wait() }
+
+// cellTimeout derives a ticket's execution deadline the same way
+// cellJob does.
+func (cs *clusterState) cellTimeout(t sweep.Ticket) time.Duration {
+	timeout := cs.s.cfg.DefaultTimeout
+	if t.TimeoutMs > 0 {
+		timeout = time.Duration(t.TimeoutMs) * time.Millisecond
+		if timeout > cs.s.cfg.MaxTimeout {
+			timeout = cs.s.cfg.MaxTimeout
+		}
+	}
+	return timeout
+}
+
+// ---------------------------------------------------------------------
+// Interactive request routing
+// ---------------------------------------------------------------------
+
+// proxySubmit routes one decoded submission to its owner. It returns
+// true when it wrote the response (proxied), false when the caller
+// should run the local path (we own the key, or the owner is down and
+// we degrade to local compute).
+func (cs *clusterState) proxySubmit(w http.ResponseWriter, r *http.Request, spec JobSpec) bool {
+	p, err := cs.s.resolve(spec)
+	if err != nil {
+		return false // local path re-resolves and reports the error
+	}
+	owner := cs.c.Owner(p.key)
+	if cs.c.IsSelf(owner) {
+		w.Header().Set(cluster.HeaderOwner, cs.c.Self())
+		return false
+	}
+	if !cs.c.Healthy(owner) {
+		cs.degradeLocal(owner, p.id)
+		return false
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return false
+	}
+	code, resp, err := cs.c.Do(r.Context(), owner, http.MethodPost, "/v1/jobs", body)
+	if err != nil {
+		cs.m.proxyErrors.Inc()
+		cs.m.perPeer("mama_cluster_peer_proxy_errors_total",
+			"Forwards to this peer that failed in transport.", owner)
+		cs.degradeLocal(owner, p.id)
+		return false
+	}
+	if code == http.StatusTooManyRequests || code >= http.StatusInternalServerError {
+		// The owner is alive but refusing work (full queue, draining,
+		// injected fault). Local compute beats bouncing the client.
+		cs.degradeLocal(owner, p.id)
+		return false
+	}
+	cs.m.proxied.Inc()
+	cs.m.perPeer("mama_cluster_peer_proxied_total",
+		"Requests forwarded to this peer.", owner)
+	w.Header().Set(cluster.HeaderOwner, owner)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(resp)
+	return true
+}
+
+func (cs *clusterState) degradeLocal(owner, jobID string) {
+	cs.m.degraded.Inc()
+	cs.s.log.Warn("cluster: owner unreachable; computing locally",
+		"owner", owner, "job", jobID)
+}
+
+// proxyLookup routes a GET for a job this node does not track to the
+// job's owner. Returns true when it wrote the response.
+func (cs *clusterState) proxyLookup(w http.ResponseWriter, r *http.Request, id, path string) bool {
+	owner := cs.c.OwnerOfJobID(id)
+	if cs.c.IsSelf(owner) || !cs.c.Healthy(owner) {
+		return false
+	}
+	if q := r.URL.RawQuery; q != "" {
+		// Forward the query so ?wait= long-polls work through the proxy;
+		// the RPC budget must outlast the longest server-side wait.
+		path += "?" + q
+	}
+	code, resp, err := cs.c.DoTimeout(r.Context(), owner, http.MethodGet, path, nil,
+		maxResultWait+10*time.Second)
+	if err != nil {
+		// The owner holds the job state and is unreachable: answer
+		// retryable, not 404 — the job may well be running there.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusBadGateway,
+			errorBody{Error: fmt.Sprintf("job owner %s unreachable: %v", owner, err)})
+		return true
+	}
+	cs.m.proxied.Inc()
+	w.Header().Set(cluster.HeaderOwner, owner)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(resp)
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Distributed result cache
+// ---------------------------------------------------------------------
+
+// cacheLookupRequest/Response are the wire form of the batched
+// cross-shard cache probe (POST /internal/cache/lookup).
+type cacheLookupRequest struct {
+	Keys []string `json:"keys"`
+}
+
+type cacheLookupResponse struct {
+	Results map[string]JobResult `json:"results"`
+}
+
+// storeResult inserts a result fetched from (or reported by) a peer
+// into the local cache and the write-behind mirror.
+func (cs *clusterState) storeResult(key string, res JobResult) {
+	cs.s.cache.put(key, res)
+	if cs.s.persist != nil {
+		cs.s.persist.enqueue(key, res)
+	}
+}
+
+// prefetchSweep resolves a sweep spec's cells and batch-fetches every
+// remote-owned key from its owner before admission, one RPC per peer.
+// Hits land in the local cache, so the sweep manager's admission-time
+// dedupe marks those cells complete without dispatching anything: a
+// warm cluster serves a resubmitted sweep with zero recomputation no
+// matter which node receives it. Failures are ignored — a missed
+// prefetch only costs a recompute.
+func (cs *clusterState) prefetchSweep(ctx context.Context, spec sweep.Spec) {
+	sp := spec
+	cells, err := sp.Expand(cs.s.cfg.MaxSweepCells)
+	if err != nil {
+		return // Submit will report the real error
+	}
+	byOwner := make(map[string][]string)
+	for _, c := range cells {
+		p, err := cs.s.resolve(specFromCell(c))
+		if err != nil {
+			continue
+		}
+		if _, ok := cs.s.cache.get(p.key); ok {
+			continue
+		}
+		owner := cs.c.Owner(p.key)
+		if cs.c.IsSelf(owner) {
+			continue
+		}
+		byOwner[owner] = append(byOwner[owner], p.key)
+	}
+	for owner, keys := range byOwner {
+		if !cs.c.Healthy(owner) {
+			continue
+		}
+		body, err := json.Marshal(cacheLookupRequest{Keys: keys})
+		if err != nil {
+			continue
+		}
+		code, resp, err := cs.c.Do(ctx, owner, http.MethodPost, "/internal/cache/lookup", body)
+		if err != nil || code != http.StatusOK {
+			continue
+		}
+		var out cacheLookupResponse
+		if err := json.Unmarshal(resp, &out); err != nil {
+			continue
+		}
+		for key, res := range out.Results {
+			cs.storeResult(key, res)
+			cs.m.remoteHits.Inc()
+			cs.m.perPeer("mama_cluster_peer_remote_cache_hits_total",
+				"Results fetched from this peer's cache.", owner)
+		}
+		if miss := len(keys) - len(out.Results); miss > 0 {
+			cs.m.remoteMisses.Add(uint64(miss))
+		}
+	}
+}
+
+// writeBack pushes a locally computed result to its owning peer,
+// asynchronously and best-effort: the local copy already serves local
+// traffic, the owner copy makes the key findable cluster-wide.
+func (cs *clusterState) writeBack(key string, res JobResult) {
+	owner := cs.c.Owner(key)
+	if cs.c.IsSelf(owner) {
+		return
+	}
+	cs.wg.Add(1)
+	go func() {
+		defer cs.wg.Done()
+		if !cs.c.Healthy(owner) {
+			return
+		}
+		body, err := json.Marshal(res)
+		if err != nil {
+			return
+		}
+		code, _, err := cs.c.Do(cs.s.baseCtx, owner, http.MethodPut, "/internal/cache/"+key, body)
+		if err == nil && code < 300 {
+			cs.m.writebacks.Inc()
+			cs.m.perPeer("mama_cluster_peer_writebacks_total",
+				"Results pushed back to this owning peer.", owner)
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------
+// Remote cell execution (ring-aware sweep dispatch)
+// ---------------------------------------------------------------------
+
+// tryRemote is the pool's dispatch hook: when a dequeued cell's key is
+// owned by a healthy peer and a remote slot is free, the cell executes
+// on its owner — the goroutine below only waits on HTTP, so the pool
+// worker that dequeued it immediately moves on to other work. This is
+// what lets one receiving node drive a whole cluster's worth of
+// compute. Returns false when the caller should execute locally.
+func (cs *clusterState) tryRemote(t sweep.Ticket) bool {
+	owner := cs.c.Owner(t.Key)
+	if cs.c.IsSelf(owner) || !cs.c.Healthy(owner) {
+		return false
+	}
+	ps := cs.peerSem[owner]
+	if ps == nil {
+		return false
+	}
+	select {
+	case cs.sem <- struct{}{}:
+	default:
+		return false // all remote slots busy: local compute beats waiting
+	}
+	select {
+	case ps <- struct{}{}:
+	default:
+		// The owner already has a pool's worth of our cells in flight.
+		// Running this one locally (or leaving it for a thief) beats
+		// serializing it in the busiest shard's queue.
+		<-cs.sem
+		return false
+	}
+	// Remote executions ride the pool's WaitGroup, not cs.wg: they are
+	// admitted work, so a graceful drain must wait for them exactly like
+	// local runs. (The Add happens on a pool worker goroutine, so the
+	// counter is provably non-zero.)
+	cs.s.pool.wg.Add(1)
+	go func() {
+		defer cs.s.pool.wg.Done()
+		cs.runRemoteCell(owner, t)
+		<-cs.sem
+		<-ps
+		// Chain the next dispatch off this completion: local workers are
+		// typically mid-cell for tens of milliseconds, and waiting for
+		// one to come free would leave the owner's pool idle that long.
+		cs.dispatchNext()
+	}()
+	return true
+}
+
+// dispatchNext tries to push one more queued cell to its owning peer,
+// called when a remote slot frees up. A cell that is not remotely
+// dispatchable right now (self-owned, owner busy or unhealthy) is
+// returned to pending as transient — a local worker or a thief picks
+// it up; no terminal event is emitted.
+func (cs *clusterState) dispatchNext() {
+	if cs.s.isDraining() || cs.s.baseCtx.Err() != nil {
+		return
+	}
+	t, ok := cs.s.sweeps.TryDequeue()
+	if !ok {
+		return
+	}
+	if cs.tryRemote(t) {
+		return
+	}
+	cs.s.sweeps.CellDone(t, nil, "not remotely dispatchable; requeued", true)
+}
+
+// runRemoteCell executes one sweep cell on its owning peer: submit the
+// equivalent job, poll for the result, feed the outcome back to the
+// sweep manager. Peer death at any point reports transient, returning
+// the cell to pending — after enough failures the owner's breaker
+// opens and the next dispatch runs locally.
+func (cs *clusterState) runRemoteCell(owner string, t sweep.Ticket) {
+	spec := specFromCell(t.Cell)
+	spec.TimeoutMs = t.TimeoutMs
+	body, err := json.Marshal(spec)
+	if err != nil {
+		cs.s.cellDone(t, JobResult{}, fmt.Errorf("encode cell spec: %w", err))
+		return
+	}
+	// The deadline covers the remote queue wait plus the run itself;
+	// shutdown cancellation arrives through baseCtx.
+	ctx, cancel := context.WithTimeout(cs.s.baseCtx, cs.cellTimeout(t)+30*time.Second)
+	defer cancel()
+
+	fail := func(err error) {
+		if cs.s.baseCtx.Err() != nil {
+			err = context.Canceled // shutdown: transient, cell re-runs after restart
+		}
+		cs.s.cellDone(t, JobResult{}, err)
+	}
+
+	// Submit until admitted: 429/503 mean the owner is alive but
+	// saturated or restarting — waiting keeps the work on the node that
+	// owns the key, and the cluster is making progress meanwhile.
+	id := jobID(t.Key)
+	for {
+		code, _, err := cs.c.Do(ctx, owner, http.MethodPost, "/v1/jobs", body)
+		if err != nil {
+			fail(fmt.Errorf("%w: submit to %s: %v", errPeerUnavailable, owner, err))
+			return
+		}
+		if code == http.StatusOK || code == http.StatusAccepted {
+			break
+		}
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			select {
+			case <-ctx.Done():
+				fail(fmt.Errorf("%w: %s stayed saturated: %v", errPeerUnavailable, owner, ctx.Err()))
+				return
+			case <-time.After(500 * time.Millisecond):
+				continue
+			}
+		}
+		fail(fmt.Errorf("owner %s refused cell job: HTTP %d", owner, code))
+		return
+	}
+
+	// Long-poll the result: the owner holds the request open until the
+	// job completes (or its wait cap fires), so a finished cell comes
+	// back in one round-trip instead of a pollEvery-paced 202 loop.
+	// pollEvery still paces the retry cadence when the long poll times
+	// out on a slow cell.
+	waitQ := "?wait=" + longPollWait.String()
+	for {
+		code, resp, err := cs.c.DoTimeout(ctx, owner, http.MethodGet,
+			"/v1/jobs/"+id+"/result"+waitQ, nil, longPollWait+10*time.Second)
+		if err != nil {
+			fail(fmt.Errorf("%w: poll %s: %v", errPeerUnavailable, owner, err))
+			return
+		}
+		switch {
+		case code == http.StatusAccepted:
+			// still queued/running on the owner
+		case code == http.StatusOK:
+			var out resultBody
+			if err := json.Unmarshal(resp, &out); err != nil {
+				fail(fmt.Errorf("decode result from %s: %w", owner, err))
+				return
+			}
+			switch out.Status {
+			case StatusDone:
+				if out.Result == nil {
+					fail(fmt.Errorf("owner %s reported done without a result", owner))
+					return
+				}
+				cs.storeResult(t.Key, *out.Result)
+				cs.m.remoteCells.Inc()
+				cs.m.perPeer("mama_cluster_peer_remote_cells_total",
+					"Sweep cells executed on this owning peer.", owner)
+				cs.s.cellDone(t, *out.Result, nil)
+				return
+			case StatusFailed:
+				cs.s.cellDone(t, JobResult{}, fmt.Errorf("remote cell failed on %s: %s", owner, out.Error))
+				return
+			}
+		case code == http.StatusNotFound:
+			// The owner restarted without the job (no persistence there):
+			// transient, the next dispatch resubmits.
+			fail(fmt.Errorf("%w: %s lost job %s", errPeerUnavailable, owner, id))
+			return
+		default:
+			fail(fmt.Errorf("owner %s answered HTTP %d polling %s", owner, code, id))
+			return
+		}
+		select {
+		case <-ctx.Done():
+			fail(fmt.Errorf("%w: result poll on %s: %v", errPeerUnavailable, owner, ctx.Err()))
+			return
+		case <-time.After(cs.pollEvery):
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Work stealing
+// ---------------------------------------------------------------------
+
+// stolenCellWire is one leased cell on the steal protocol.
+type stolenCellWire struct {
+	Sweep     string     `json:"sweep"`
+	Index     int        `json:"index"`
+	Key       string     `json:"key"`
+	Cell      sweep.Cell `json:"cell"`
+	TimeoutMs int64      `json:"timeout_ms,omitempty"`
+}
+
+type stealRequest struct {
+	Max int `json:"max"`
+}
+
+type stealResponse struct {
+	Cells []stolenCellWire `json:"cells"`
+}
+
+// stealDoneRequest reports a stolen cell's outcome back to the victim.
+// Result carries the raw JobResult on success; Error the failure.
+type stealDoneRequest struct {
+	Sweep  string          `json:"sweep"`
+	Index  int             `json:"index"`
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// stealLoop is the thief side: when this node is fully idle (no queued
+// jobs, no dispatchable sweep work, free workers) it asks peers — round
+// robin — for queued cells and executes them locally through the normal
+// job path.
+func (cs *clusterState) stealLoop() {
+	ticker := time.NewTicker(cs.stealEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-cs.s.baseCtx.Done():
+			return
+		case <-ticker.C:
+		}
+		if cs.s.isDraining() || !cs.idle() {
+			continue
+		}
+		peer, ok := cs.nextPeer()
+		if !ok {
+			continue
+		}
+		cells := cs.stealFrom(peer, cs.s.cfg.Workers)
+		// Run the batch concurrently — the node is idle, so the whole
+		// pool's width is available — but join it before the next tick
+		// so the idle() check stays honest.
+		var batch sync.WaitGroup
+		for _, sc := range cells {
+			batch.Add(1)
+			go func(sc stolenCellWire) {
+				defer batch.Done()
+				cs.runStolen(peer, sc)
+			}(sc)
+		}
+		batch.Wait()
+		if cs.s.isDraining() {
+			return
+		}
+	}
+}
+
+// idle reports whether this node has nothing of its own to do.
+func (cs *clusterState) idle() bool {
+	if cs.s.q.depth() > 0 {
+		return false
+	}
+	if cs.s.metrics.workersBusy.Value() > 0 {
+		return false
+	}
+	counts := cs.s.sweeps.Counts()
+	return counts.CellsPending == 0 && counts.CellsRunning == 0
+}
+
+// nextPeer picks the next healthy peer round-robin.
+func (cs *clusterState) nextPeer() (string, bool) {
+	peers := cs.c.Peers()
+	if len(peers) == 0 {
+		return "", false
+	}
+	cs.mu.Lock()
+	start := cs.stealCur
+	cs.mu.Unlock()
+	for i := 0; i < len(peers); i++ {
+		p := peers[(start+i)%len(peers)]
+		if cs.c.Healthy(p) {
+			cs.mu.Lock()
+			cs.stealCur = (start + i + 1) % len(peers)
+			cs.mu.Unlock()
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// stealFrom asks one victim for up to max queued cells.
+func (cs *clusterState) stealFrom(peer string, max int) []stolenCellWire {
+	body, err := json.Marshal(stealRequest{Max: max})
+	if err != nil {
+		return nil
+	}
+	code, resp, err := cs.c.Do(cs.s.baseCtx, peer, http.MethodPost, "/internal/steal", body)
+	if err != nil || code != http.StatusOK {
+		return nil
+	}
+	var out stealResponse
+	if err := json.Unmarshal(resp, &out); err != nil {
+		return nil
+	}
+	return out.Cells
+}
+
+// runStolen executes one stolen cell locally (through the normal job
+// path: registry entry, panic isolation, metrics, cache fill and
+// write-back to the key's owner) and reports the outcome to the victim.
+func (cs *clusterState) runStolen(victim string, sc stolenCellWire) {
+	t := sweep.Ticket{SweepID: sc.Sweep, Index: sc.Index, Cell: sc.Cell, Key: sc.Key, TimeoutMs: sc.TimeoutMs}
+	report := stealDoneRequest{Sweep: sc.Sweep, Index: sc.Index, Key: sc.Key}
+	if res, ok := cs.s.cache.get(sc.Key); ok {
+		// The thief already had the result (the victim could not know):
+		// the dedupe contract holds, nothing runs.
+		if raw, err := json.Marshal(res); err == nil {
+			report.Result = raw
+		}
+	} else {
+		j := cs.s.cellJob(t)
+		res, err := cs.s.pool.execute(-1, j)
+		if errors.Is(err, context.Canceled) && cs.s.baseCtx.Err() != nil {
+			// This thief is shutting down mid-cell: say nothing. The
+			// victim's lease janitor returns the cell to pending, and a
+			// live node computes it — reporting an error here would fail
+			// the cell permanently for a fault that is ours, not the
+			// simulation's.
+			return
+		}
+		if err != nil {
+			report.Error = err.Error()
+		} else if raw, merr := json.Marshal(res); merr == nil {
+			report.Result = raw
+		} else {
+			report.Error = fmt.Sprintf("encode stolen result: %v", merr)
+		}
+	}
+	cs.m.stealsOut.Inc()
+	cs.m.perPeer("mama_cluster_peer_steals_out_total",
+		"Sweep cells stolen from this peer.", victim)
+	body, err := json.Marshal(report)
+	if err != nil {
+		return
+	}
+	// Best-effort: if the victim is gone, its lease janitor re-queues
+	// the cell; our local cache fill still counts.
+	_, _, _ = cs.c.Do(cs.s.baseCtx, victim, http.MethodPost, "/internal/steal/done", body)
+}
+
+// janitorLoop expires stolen-cell leases: a thief that died without
+// reporting returns its cells to pending, so no steal can lose work.
+func (cs *clusterState) janitorLoop() {
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-cs.s.baseCtx.Done():
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		var expired []*stolenLease
+		cs.mu.Lock()
+		for k, l := range cs.leases {
+			if now.After(l.expires) {
+				delete(cs.leases, k)
+				expired = append(expired, l)
+			}
+		}
+		cs.mu.Unlock()
+		for _, l := range expired {
+			cs.m.stealExpired.Inc()
+			cs.s.log.Warn("cluster: stolen cell lease expired; re-queueing",
+				"sweep", l.t.SweepID, "cell", l.t.Index, "thief", l.peer)
+			cs.s.sweeps.CellDone(l.t, nil, "steal lease expired", true)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Internal HTTP endpoints (peer-to-peer protocol)
+// ---------------------------------------------------------------------
+
+func (cs *clusterState) registerHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("GET /internal/cache/{key}", cs.handleCacheGet)
+	mux.HandleFunc("PUT /internal/cache/{key}", cs.handleCachePut)
+	mux.HandleFunc("POST /internal/cache/lookup", cs.handleCacheLookup)
+	mux.HandleFunc("POST /internal/steal", cs.handleSteal)
+	mux.HandleFunc("POST /internal/steal/done", cs.handleStealDone)
+}
+
+func (cs *clusterState) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	res, ok := cs.s.cache.get(r.PathValue("key"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "not cached"})
+		return
+	}
+	cs.m.cacheServed.Inc()
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (cs *clusterState) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	var res JobResult
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&res); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad result: " + err.Error()})
+		return
+	}
+	cs.storeResult(r.PathValue("key"), res)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (cs *clusterState) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	var req cacheLookupRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad lookup: " + err.Error()})
+		return
+	}
+	out := cacheLookupResponse{Results: make(map[string]JobResult)}
+	for _, key := range req.Keys {
+		if res, ok := cs.s.cache.get(key); ok {
+			out.Results[key] = res
+			cs.m.cacheServed.Inc()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSteal is the victim side: hand out queued sweep cells when this
+// node has more pending work than its own pool will promptly absorb.
+// Dispatch goes through the sweep manager's TryDequeue, which skips
+// cached and inflight keys — a thief can only receive same-key-absent
+// work, preserving the cluster-wide at-most-once compute guarantee.
+func (cs *clusterState) handleSteal(w http.ResponseWriter, r *http.Request) {
+	var req stealRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad steal request: " + err.Error()})
+		return
+	}
+	out := stealResponse{Cells: []stolenCellWire{}}
+	if cs.s.isDraining() || req.Max <= 0 {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	// Only give work away while there is more queued than the local pool
+	// is about to chew through; an almost-drained queue finishes faster
+	// locally than over two RPCs.
+	if pending := cs.s.sweeps.Counts().CellsPending; pending <= cs.minPending {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	thief := r.RemoteAddr
+	for len(out.Cells) < req.Max {
+		t, ok := cs.s.sweeps.TryDequeue()
+		if !ok {
+			break
+		}
+		cs.mu.Lock()
+		cs.leases[leaseKey{t.SweepID, t.Index}] = &stolenLease{
+			t: t, peer: thief, expires: time.Now().Add(cs.lease),
+		}
+		cs.mu.Unlock()
+		cs.m.stealsIn.Inc()
+		out.Cells = append(out.Cells, stolenCellWire{
+			Sweep: t.SweepID, Index: t.Index, Key: t.Key, Cell: t.Cell, TimeoutMs: t.TimeoutMs,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStealDone resolves a stolen-cell lease with the thief's
+// outcome. A report for an already-expired lease answers 410: the cell
+// was re-queued, but the attached result is still a valid cache fill
+// (results are bit-identical wherever computed), so it is kept — the
+// re-queued cell then completes as deduped without running.
+func (cs *clusterState) handleStealDone(w http.ResponseWriter, r *http.Request) {
+	var req stealDoneRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad steal report: " + err.Error()})
+		return
+	}
+	if len(req.Result) > 0 {
+		var res JobResult
+		if err := json.Unmarshal(req.Result, &res); err == nil {
+			cs.storeResult(req.Key, res)
+		}
+	}
+	cs.mu.Lock()
+	lease, ok := cs.leases[leaseKey{req.Sweep, req.Index}]
+	if ok {
+		delete(cs.leases, leaseKey{req.Sweep, req.Index})
+	}
+	cs.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusGone, errorBody{Error: "no such lease (expired or unknown)"})
+		return
+	}
+	if req.Error != "" {
+		cs.s.sweeps.CellDone(lease.t, nil, req.Error, false)
+	} else {
+		cs.s.sweeps.CellDone(lease.t, req.Result, "", false)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// clusterStats snapshots the cluster block of /v1/stats.
+func (cs *clusterState) stats() *ClusterStats {
+	return &ClusterStats{
+		Self:              cs.c.Self(),
+		Peers:             cs.c.Peers(),
+		Unhealthy:         cs.c.UnhealthyPeers(),
+		Proxied:           cs.m.proxied.Value(),
+		ProxyErrors:       cs.m.proxyErrors.Value(),
+		DegradedLocal:     cs.m.degraded.Value(),
+		RemoteCacheHits:   cs.m.remoteHits.Value(),
+		RemoteCacheMisses: cs.m.remoteMisses.Value(),
+		RemoteCells:       cs.m.remoteCells.Value(),
+		CacheServed:       cs.m.cacheServed.Value(),
+		Writebacks:        cs.m.writebacks.Value(),
+		StolenFromPeers:   cs.m.stealsOut.Value(),
+		StolenByPeers:     cs.m.stealsIn.Value(),
+		StealExpired:      cs.m.stealExpired.Value(),
+	}
+}

@@ -1,0 +1,586 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"micromama/internal/cluster"
+)
+
+// clusterNode is one in-process member of a test cluster.
+type clusterNode struct {
+	srv *Server
+	ts  *httptest.Server
+	url string
+}
+
+func (n *clusterNode) kill() {
+	n.ts.Close()
+	n.srv.Close()
+}
+
+// startCluster boots n nodes that share one consistent-hash ring.
+// Listeners are bound first so every node is constructed with the full
+// peer set; mut customizes each node's Config before New.
+func startCluster(t testing.TB, n int, mut func(i int, cfg *Config)) []*clusterNode {
+	return startClusterOpts(t, n, cluster.Options{
+		FailureThreshold: 2,
+		Cooldown:         250 * time.Millisecond,
+		RPCTimeout:       5 * time.Second,
+	}, mut)
+}
+
+func startClusterOpts(t testing.TB, n int, opts cluster.Options, mut func(i int, cfg *Config)) []*clusterNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		cl, err := cluster.New(urls[i], urls, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Workers:            2,
+			QueueDepth:         64,
+			Cluster:            cl,
+			RemotePollInterval: 5 * time.Millisecond,
+			StealInterval:      -1, // tests that want stealing opt in
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener = lns[i]
+		ts.Start()
+		nodes[i] = &clusterNode{srv: srv, ts: ts, url: urls[i]}
+		t.Cleanup(nodes[i].kill)
+	}
+	return nodes
+}
+
+// pureRun builds a deterministic fake runFunc: the result is a pure
+// function of the spec (so it is bit-identical wherever it executes)
+// and every invocation bumps sims.
+func pureRun(sims *atomic.Int64, delay time.Duration) runFunc {
+	return func(ctx context.Context, spec JobSpec) (JobResult, error) {
+		sims.Add(1)
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return JobResult{}, ctx.Err()
+			}
+		}
+		return JobResult{
+			Mix:        strings.Join(spec.Mix, "+"),
+			Controller: spec.Controller,
+			WS:         float64(spec.Seed) * 1.5,
+			HS:         float64(spec.Seed) + 0.25,
+			GM:         1,
+			Speedups:   []float64{float64(spec.Seed)},
+		}, nil
+	}
+}
+
+// clusterStats fetches /v1/stats and requires the cluster block.
+func clusterStats(t *testing.T, n *clusterNode) (Stats, ClusterStats) {
+	t.Helper()
+	st := getStats(t, n.ts)
+	if st.Cluster == nil {
+		t.Fatalf("node %s: stats missing cluster block", n.url)
+	}
+	return st, *st.Cluster
+}
+
+// TestClusterWarmSweepZeroRecompute is the tentpole acceptance test: a
+// cold sweep submitted to node A computes every cell exactly once
+// across the cluster; resubmitting the identical sweep to node C
+// completes with zero additional simulations anywhere — admission
+// prefetch pulls every remote-owned result from its owning shard.
+func TestClusterWarmSweepZeroRecompute(t *testing.T) {
+	const cells = 8
+	sims := make([]atomic.Int64, 3)
+	nodes := startCluster(t, 3, func(i int, cfg *Config) {
+		cfg.Run = pureRun(&sims[i], 0)
+		// Eager dispatch: every remote-owned cell must execute on its
+		// owner so the warm pass finds every result already in place
+		// (no async write-back races in the assertion below).
+		cfg.RemotePeerSlots = 2 * cells
+	})
+	a, c := nodes[0], nodes[2]
+
+	total := func() int64 {
+		var n int64
+		for i := range sims {
+			n += sims[i].Load()
+		}
+		return n
+	}
+
+	resp, view := postSweep(t, a.ts, sweepGridJSON("cold", cells))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("cold sweep: HTTP %d", resp.StatusCode)
+	}
+	waitSweepDone(t, a.ts, view.ID, 30*time.Second)
+
+	if got := total(); got != cells {
+		t.Fatalf("cold sweep ran %d simulations across the cluster, want exactly %d", got, cells)
+	}
+
+	// Same grid against a different node: every cell must dedupe at
+	// admission via the distributed cache.
+	resp2, view2 := postSweep(t, c.ts, sweepGridJSON("warm", cells))
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("warm sweep: HTTP %d", resp2.StatusCode)
+	}
+	warm := waitSweepDone(t, c.ts, view2.ID, 30*time.Second)
+	if warm.Deduped != cells {
+		t.Errorf("warm sweep deduped %d of %d cells", warm.Deduped, cells)
+	}
+	if got := total(); got != cells {
+		t.Errorf("warm resubmission ran %d extra simulations, want 0", got-cells)
+	}
+	if _, ccl := clusterStats(t, c); ccl.RemoteCacheHits == 0 {
+		t.Error("warm pass recorded no cross-shard cache hits; prefetch did not reach the owners")
+	}
+}
+
+// specOwnedBy hunts for a fake-job seed whose key lands on the wanted
+// node, using the ring every node shares.
+func specOwnedBy(t *testing.T, n *clusterNode, want string) JobSpec {
+	t.Helper()
+	for seed := uint64(1); seed < 4096; seed++ {
+		spec := JobSpec{Mix: []string{"spec06.libquantum"}, Controller: "no", Scale: "tiny", Seed: seed}
+		p, err := n.srv.resolve(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.srv.cl.c.Owner(p.key) == want {
+			return spec
+		}
+	}
+	t.Fatal("no seed found owned by " + want)
+	return JobSpec{}
+}
+
+// TestClusterProxySubmit checks interactive routing: a submission to a
+// non-owning node is proxied to the owner (which computes and caches
+// it), the response names the owner via X-Mama-Owner, and the job is
+// afterwards visible through both nodes.
+func TestClusterProxySubmit(t *testing.T) {
+	sims := make([]atomic.Int64, 2)
+	nodes := startCluster(t, 2, func(i int, cfg *Config) {
+		cfg.Run = pureRun(&sims[i], 0)
+	})
+	a, b := nodes[0], nodes[1]
+
+	spec := specOwnedBy(t, a, b.url)
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(a.ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("proxied submit: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(cluster.HeaderOwner); got != b.url {
+		t.Errorf("X-Mama-Owner = %q, want owner %q", got, b.url)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+
+	// The job completes and is visible from both nodes (the receiver
+	// proxies the lookup); only the owner computed it.
+	if bodyA := waitDone(t, a.ts, view.ID, 10*time.Second); bodyA.Status != StatusDone {
+		t.Fatalf("job via non-owner finished as %q", bodyA.Status)
+	}
+	if bodyB := waitDone(t, b.ts, view.ID, 10*time.Second); bodyB.Status != StatusDone {
+		t.Fatalf("job via owner finished as %q", bodyB.Status)
+	}
+	if sims[0].Load() != 0 || sims[1].Load() != 1 {
+		t.Errorf("simulations = [%d %d], want [0 1] (owner computes)", sims[0].Load(), sims[1].Load())
+	}
+	if _, acl := clusterStats(t, a); acl.Proxied == 0 {
+		t.Error("receiving node recorded no proxied requests")
+	}
+}
+
+// normalizeResult strips the one timing-dependent field (sim_ms is
+// wall-clock) and returns canonical JSON for bit-identity comparison.
+func normalizeResult(t *testing.T, raw []byte) string {
+	t.Helper()
+	var res JobResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("unmarshal result %s: %v", raw, err)
+	}
+	res.SimMs = 0
+	out, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// goldenKey identifies one golden spec.
+type goldenKey struct {
+	seed       uint64
+	controller string
+}
+
+// TestClusterGoldenRoutingPaths pins bit-identical results across the
+// three execution paths with real simulations: the same specs computed
+// locally on a standalone server, proxied to their cluster owner, and
+// stolen by an idle peer must produce byte-identical metrics.
+func TestClusterGoldenRoutingPaths(t *testing.T) {
+	specs := []JobSpec{
+		{Mix: []string{"spec06.libquantum"}, Controller: "no", Scale: "tiny", Seed: 1},
+		{Mix: []string{"spec06.libquantum"}, Controller: "no", Scale: "tiny", Seed: 2},
+		{Mix: []string{"spec06.libquantum"}, Controller: "bandit", Scale: "tiny", Seed: 3},
+	}
+
+	// Golden: a standalone (non-clustered) server runs everything
+	// locally with real simulations.
+	golden := make(map[goldenKey]string)
+	solo := mustNew(t, Config{Workers: 1, QueueDepth: 8})
+	soloTS := httptest.NewServer(solo.Handler())
+	for _, spec := range specs {
+		body, _ := json.Marshal(spec)
+		resp, view := postJob(t, soloTS, string(body))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("golden submit: HTTP %d", resp.StatusCode)
+		}
+		done := waitDone(t, soloTS, view.ID, 30*time.Second)
+		if done.Status != StatusDone {
+			t.Fatalf("golden job seed %d finished as %q: %s", spec.Seed, done.Status, done.Error)
+		}
+		raw, _ := json.Marshal(done.Result)
+		golden[goldenKey{spec.Seed, spec.Controller}] = normalizeResult(t, raw)
+	}
+	soloTS.Close()
+	solo.Close()
+
+	// Proxied: submit each spec to a 2-node cluster via whichever node
+	// does NOT own it, forcing the proxy hop; the owner computes with
+	// real simulations.
+	proxied := startCluster(t, 2, nil)
+	for _, spec := range specs {
+		p, err := proxied[0].srv.resolve(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		receiver := proxied[0]
+		if proxied[0].srv.cl.c.Owner(p.key) == proxied[0].url {
+			receiver = proxied[1]
+		}
+		body, _ := json.Marshal(spec)
+		resp, view := postJob(t, receiver.ts, string(body))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("proxied submit seed %d: HTTP %d", spec.Seed, resp.StatusCode)
+		}
+		done := waitDone(t, receiver.ts, view.ID, 30*time.Second)
+		if done.Status != StatusDone {
+			t.Fatalf("proxied job seed %d finished as %q: %s", spec.Seed, done.Status, done.Error)
+		}
+		raw, _ := json.Marshal(done.Result)
+		want := golden[goldenKey{spec.Seed, spec.Controller}]
+		if got := normalizeResult(t, raw); got != want {
+			t.Errorf("proxied result for seed %d differs from local:\n  local: %s\nproxied: %s",
+				spec.Seed, want, got)
+		}
+	}
+
+	// Stolen: a victim whose only worker is wedged on an interactive
+	// job queues the cells; the idle peer steals them, runs real
+	// simulations, and reports the results back.
+	release := make(chan struct{})
+	defer close(release)
+	var victim, thief *Server
+	var thiefSims atomic.Int64
+	stolen := startCluster(t, 2, func(i int, cfg *Config) {
+		if i == 0 {
+			cfg.Workers = 1
+			cfg.StealMinPending = -1 // hand thieves everything
+			cfg.Run = func(ctx context.Context, spec JobSpec) (JobResult, error) {
+				if spec.Seed == 9999 { // the wedge job
+					select {
+					case <-release:
+					case <-ctx.Done():
+					}
+					return JobResult{Mix: "wedge"}, nil
+				}
+				return victim.simulate(ctx, spec)
+			}
+		} else {
+			cfg.StealInterval = 10 * time.Millisecond
+			cfg.Run = func(ctx context.Context, spec JobSpec) (JobResult, error) {
+				thiefSims.Add(1)
+				return thief.simulate(ctx, spec)
+			}
+		}
+	})
+	victim, thief = stolen[0].srv, stolen[1].srv
+
+	// Wedge the victim's single worker with a forwarded-marked (so
+	// never proxied) interactive job.
+	wedge, _ := json.Marshal(JobSpec{Mix: []string{"spec06.libquantum"}, Controller: "no", Scale: "tiny", Seed: 9999})
+	req, _ := http.NewRequest(http.MethodPost, stolen[0].ts.URL+"/v1/jobs", bytes.NewReader(wedge))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HeaderForwarded, "1")
+	wresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("wedge submit: HTTP %d", wresp.StatusCode)
+	}
+
+	// The golden cells, all pending behind the wedge; only the thief
+	// can execute them.
+	cellsJSON, _ := json.Marshal(struct {
+		Name  string    `json:"name"`
+		Cells []JobSpec `json:"cells"`
+	}{Name: "steal-golden", Cells: specs})
+	resp, view := postSweep(t, stolen[0].ts, string(cellsJSON))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("steal sweep: HTTP %d", resp.StatusCode)
+	}
+	done := waitSweepDone(t, stolen[0].ts, view.ID, 60*time.Second)
+	if done.Failed != 0 {
+		t.Fatalf("steal sweep finished with %d failed cells", done.Failed)
+	}
+	if thiefSims.Load() == 0 {
+		t.Fatal("thief ran no simulations; nothing was stolen")
+	}
+	_, vcl := clusterStats(t, stolen[0])
+	_, tcl := clusterStats(t, stolen[1])
+	if vcl.StolenByPeers == 0 || tcl.StolenFromPeers == 0 {
+		t.Errorf("steal counters: victim stolen_by_peers=%d thief stolen_from_peers=%d, want both > 0",
+			vcl.StolenByPeers, tcl.StolenFromPeers)
+	}
+
+	// Every stolen cell's result must be byte-identical to the golden
+	// local run of the same spec.
+	events, _ := readSweepEvents(t, stolen[0].ts, view.ID, "")
+	compared := 0
+	for _, ev := range events {
+		want, ok := golden[goldenKey{ev.Spec.Seed, ev.Spec.Controller}]
+		if !ok {
+			t.Errorf("event for unexpected cell seed %d/%s", ev.Spec.Seed, ev.Spec.Controller)
+			continue
+		}
+		if got := normalizeResult(t, ev.Result); got != want {
+			t.Errorf("stolen result for seed %d/%s differs from local:\n local: %s\nstolen: %s",
+				ev.Spec.Seed, ev.Spec.Controller, want, got)
+		}
+		compared++
+	}
+	if compared != len(specs) {
+		t.Errorf("compared %d stolen results, want %d", compared, len(specs))
+	}
+}
+
+// TestClusterOwnerDeathMidSweep kills an owning shard while a sweep is
+// in flight: the sweep must still complete via re-routing (transient
+// requeue, breaker, degraded-local compute) with every cell terminal
+// exactly once — none lost, none double-counted.
+func TestClusterOwnerDeathMidSweep(t *testing.T) {
+	const cells = 12
+	sims := make([]atomic.Int64, 3)
+	nodes := startCluster(t, 3, func(i int, cfg *Config) {
+		cfg.Run = pureRun(&sims[i], 30*time.Millisecond)
+		cfg.StealInterval = 20 * time.Millisecond
+		cfg.StealLease = time.Second // a dead thief must release fast
+	})
+	a, b := nodes[0], nodes[1]
+
+	resp, view := postSweep(t, a.ts, sweepGridJSON("chaos", cells))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("sweep: HTTP %d", resp.StatusCode)
+	}
+
+	// Let the sweep make some progress, then kill node B.
+	deadline := time.Now().Add(10 * time.Second)
+	for getSweepView(t, a.ts, view.ID).Done == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep made no progress before the kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	b.kill()
+
+	done := waitSweepDone(t, a.ts, view.ID, 60*time.Second)
+	if done.Done+done.Deduped != cells || done.Failed != 0 {
+		t.Fatalf("after owner death: done=%d deduped=%d failed=%d, want %d total done / 0 failed",
+			done.Done, done.Deduped, done.Failed, cells)
+	}
+
+	// Exactly one terminal event per cell index: nothing lost, nothing
+	// double-counted.
+	events, _ := readSweepEvents(t, a.ts, view.ID, "")
+	seen := make(map[int]int)
+	for _, ev := range events {
+		seen[ev.Cell]++
+	}
+	if len(seen) != cells {
+		t.Errorf("events cover %d distinct cells, want %d", len(seen), cells)
+	}
+	for cell, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %d has %d terminal events, want exactly 1", cell, n)
+		}
+	}
+}
+
+// TestClusterPartitionDegrade cuts every peer RPC via the injected
+// partition fault: submissions against the reachable node must degrade
+// to local compute — slower, but never a client-visible error.
+func TestClusterPartitionDegrade(t *testing.T) {
+	enableFault(t, "cluster/rpc/partition", "always")
+	sims := make([]atomic.Int64, 2)
+	// A long cooldown keeps the breaker visibly open once it trips, so
+	// the final stats assertions are deterministic.
+	nodes := startClusterOpts(t, 2, cluster.Options{
+		FailureThreshold: 2,
+		Cooldown:         time.Minute,
+		RPCTimeout:       5 * time.Second,
+	}, func(i int, cfg *Config) {
+		cfg.Run = pureRun(&sims[i], 0)
+	})
+	a, b := nodes[0], nodes[1]
+
+	// A peer-owned job, submitted twice: each proxy attempt fails in
+	// transport and degrades to local compute; the second failure trips
+	// the breaker. The client sees 202s throughout, never an error.
+	remoteSpec := specOwnedBy(t, a, b.url)
+	body, _ := json.Marshal(remoteSpec)
+	for i := 0; i < 2; i++ {
+		resp, view := postJob(t, a.ts, string(body))
+		// First submit queues locally (202); the resubmission is a local
+		// cache hit (200) — still routed through a proxy attempt first.
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d under partition: HTTP %d", i, resp.StatusCode)
+		}
+		if done := waitDone(t, a.ts, view.ID, 10*time.Second); done.Status != StatusDone {
+			t.Fatalf("job under partition finished as %q: %s", done.Status, done.Error)
+		}
+	}
+
+	// A whole sweep completes on the one reachable node.
+	resp, view := postSweep(t, a.ts, sweepGridJSON("partitioned", 6))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("sweep under partition: HTTP %d", resp.StatusCode)
+	}
+	if done := waitSweepDone(t, a.ts, view.ID, 30*time.Second); done.Failed != 0 {
+		t.Fatalf("sweep under partition: %d failed cells", done.Failed)
+	}
+
+	if sims[1].Load() != 0 {
+		t.Errorf("partitioned peer ran %d simulations; nothing should reach it", sims[1].Load())
+	}
+	_, acl := clusterStats(t, a)
+	if acl.DegradedLocal == 0 {
+		t.Error("no degraded-local compute recorded under full partition")
+	}
+	if len(acl.Unhealthy) == 0 {
+		t.Error("partitioned peer never marked unhealthy")
+	}
+}
+
+// BenchmarkClusterSweep measures cold-sweep wall time for a 1-node and
+// a 3-node cluster over a latency-bound workload (each cell sleeps
+// 20ms, modelling a simulation this host would run serially). The
+// 3-node figure must come in well under the 1-node one: remote
+// dispatch and stealing keep all three pools busy no matter which node
+// received the sweep. (On a single-CPU host the routing RPCs serialize
+// against the workload, so the measured speedup here understates what
+// a real multi-host deployment sees.)
+func BenchmarkClusterSweep(b *testing.B) {
+	const cells = 48
+	var seedBase atomic.Uint64
+	seedBase.Store(1_000_000)
+
+	freshSweep := func() string {
+		base := seedBase.Add(10_000)
+		seeds := make([]string, cells)
+		for i := range seeds {
+			seeds[i] = fmt.Sprint(base + uint64(i))
+		}
+		return fmt.Sprintf(`{"name":"bench-%d","grid":{"mixes":[["spec06.libquantum"]],"controllers":["no"],"scales":["tiny"],"seeds":[%s]}}`,
+			base, strings.Join(seeds, ","))
+	}
+
+	for _, size := range []int{1, 3} {
+		b.Run(fmt.Sprintf("%dnode", size), func(b *testing.B) {
+			var sims atomic.Int64
+			nodes := startCluster(b, size, func(i int, cfg *Config) {
+				cfg.Run = pureRun(&sims, 20*time.Millisecond)
+				cfg.StealInterval = 5 * time.Millisecond
+				cfg.RemotePollInterval = 2 * time.Millisecond
+				cfg.RemotePeerSlots = 3
+			})
+			client := nodes[0].ts.Client()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := client.Post(nodes[0].ts.URL+"/v1/sweeps", "application/json",
+					strings.NewReader(freshSweep()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var view struct {
+					ID string `json:"id"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				deadline := time.Now().Add(2 * time.Minute)
+				for {
+					r, err := client.Get(nodes[0].ts.URL + "/v1/sweeps/" + view.ID)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var v struct {
+						Status string `json:"status"`
+					}
+					if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+						b.Fatal(err)
+					}
+					r.Body.Close()
+					if v.Status == "done" {
+						break
+					}
+					if time.Now().After(deadline) {
+						b.Fatal("sweep did not finish")
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		})
+	}
+}

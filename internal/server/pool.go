@@ -41,6 +41,11 @@ type job struct {
 	// worker-side lifecycle is logged under the creator's.
 	reqID string
 
+	// done is closed when the job reaches a terminal status, letting
+	// long-poll result reads block on completion instead of re-reading
+	// the status on a timer.
+	done chan struct{}
+
 	mu         sync.Mutex
 	status     JobStatus
 	errMsg     string
@@ -55,16 +60,20 @@ func newJob(id, key string, spec JobSpec, timeout time.Duration, reqID string) *
 	return &job{
 		id: id, key: key, spec: spec, timeout: timeout, reqID: reqID,
 		status: StatusQueued, enqueuedAt: time.Now(),
+		done: make(chan struct{}),
 	}
 }
 
 // doneJob builds an already-completed registry entry for a cache hit.
 func doneJob(id, key string, spec JobSpec, res JobResult) *job {
 	now := time.Now()
+	done := make(chan struct{})
+	close(done)
 	return &job{
 		id: id, key: key, spec: spec,
 		status: StatusDone, result: &res, cached: true,
 		enqueuedAt: now, startedAt: now, finishedAt: now,
+		done: done,
 	}
 }
 
@@ -94,6 +103,11 @@ func (j *job) finish(res JobResult, err error) {
 	} else {
 		j.status = StatusDone
 		j.result = &res
+	}
+	select {
+	case <-j.done:
+	default:
+		close(j.done)
 	}
 	j.mu.Unlock()
 }
@@ -162,6 +176,11 @@ type pool struct {
 	mgr      *sweep.Manager
 	cellJob  func(sweep.Ticket) *job
 	cellDone func(sweep.Ticket, JobResult, error)
+
+	// remote, when non-nil, may take a dequeued cell off this worker's
+	// hands and execute it on the peer owning its key (see cluster.go);
+	// the worker immediately moves on to other work.
+	remote *clusterState
 }
 
 // start launches n workers. Workers exit when q is closed and drained
@@ -222,6 +241,9 @@ func (p *pool) executeCell(worker int, t sweep.Ticket) {
 			"sweep", t.SweepID, "cell", t.Index, "worker", worker)
 		p.cellDone(t, JobResult{}, errWorkerKilled)
 		return
+	}
+	if p.remote != nil && p.remote.tryRemote(t) {
+		return // executing on the owning peer; outcome arrives via cellDone
 	}
 	j := p.cellJob(t)
 	res, err := p.execute(worker, j)

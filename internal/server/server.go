@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"micromama/internal/cluster"
 	"micromama/internal/dram"
 	"micromama/internal/experiment"
 	"micromama/internal/faultinject"
@@ -76,6 +77,35 @@ type Config struct {
 	// Run overrides the execution function (tests only); nil runs real
 	// simulations through a shared experiment.Runner per scale.
 	Run runFunc
+
+	// Cluster, when non-nil, makes this server one node of a sharded
+	// cluster: requests route to key owners over the consistent-hash
+	// ring, sweep admission prefetches remote-owned results, and idle
+	// nodes steal queued cells from deep-queued peers. See cluster.go.
+	Cluster *cluster.Cluster
+	// StealInterval is how often an idle node polls peers for stealable
+	// cells (default 250ms; negative disables stealing).
+	StealInterval time.Duration
+	// StealLease bounds how long a stolen cell may stay unreported
+	// before the victim re-queues it (default DefaultTimeout + 30s).
+	StealLease time.Duration
+	// StealMinPending is how many pending cells a node keeps for its own
+	// pool before handing work to thieves (default Workers; negative
+	// means hand out everything that is queued).
+	StealMinPending int
+	// RemoteSlots bounds concurrent remote cell executions — cells being
+	// computed on their owning peers while local workers do other work
+	// (default 4 × Workers).
+	RemoteSlots int
+	// RemotePeerSlots bounds in-flight remote executions per owning
+	// peer (default Workers). Keeping it near the peers' own pool width
+	// is deliberate late binding: cells beyond it stay in this node's
+	// queue where a local worker or an idle thief can still claim them,
+	// instead of serializing in one busy owner's queue.
+	RemotePeerSlots int
+	// RemotePollInterval is the result-poll cadence for remote cell
+	// execution (default 100ms; tests shrink it).
+	RemotePollInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +135,13 @@ func (c Config) withDefaults() Config {
 		if c.SimParallelism < 2 {
 			c.SimParallelism = 0
 		}
+	}
+	if c.SimParallelism == 1 {
+		// One goroutine per simulation is the serial path plus engine
+		// overhead; never hand that to the simulator. (The simulator
+		// also refuses it — and any width on a GOMAXPROCS=1 host — in
+		// sim.System.ParallelWorkers; this keeps /v1/stats honest.)
+		c.SimParallelism = 0
 	}
 	return c
 }
@@ -136,6 +173,10 @@ type Server struct {
 	// sweeps orchestrates multi-cell experiment sweeps over the same
 	// worker pool (see internal/sweep); always non-nil.
 	sweeps *sweep.Manager
+
+	// cl is the cluster runtime (routing, distributed cache, stealing);
+	// nil when this server runs standalone. See cluster.go.
+	cl *clusterState
 
 	// draining is set (under mu) when shutdown begins: submissions are
 	// refused with 503 and /readyz reports not-ready. drainOnce closes
@@ -202,11 +243,17 @@ func New(cfg Config) (*Server, error) {
 	if run == nil {
 		run = s.simulate
 	}
+	if cfg.Cluster != nil {
+		s.cl = newClusterState(s)
+	}
 	s.pool = &pool{
 		run: run, baseCtx: ctx, onFinish: s.finishJob, m: s.metrics, log: s.log,
-		mgr: mgr, cellJob: s.cellJob, cellDone: s.cellDone,
+		mgr: mgr, cellJob: s.cellJob, cellDone: s.cellDone, remote: s.cl,
 	}
 	s.pool.start(cfg.Workers, s.q)
+	if s.cl != nil {
+		s.cl.start()
+	}
 	return s, nil
 }
 
@@ -260,6 +307,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.cancel()
+	if s.cl != nil {
+		// Cluster background goroutines (stealer, lease janitor,
+		// write-backs) exit on the cancelled base context; remote cell
+		// executions already drained with the pool.
+		s.cl.wait()
+	}
 	if s.persist != nil {
 		s.persist.close()
 	}
@@ -278,6 +331,9 @@ func (s *Server) Close() {
 	s.beginDrain()
 	s.cancel()
 	s.pool.wait()
+	if s.cl != nil {
+		s.cl.wait()
+	}
 	if s.persist != nil {
 		s.persist.close()
 	}
@@ -413,6 +469,11 @@ func (s *Server) finishJob(j *job, res JobResult, err error) {
 		if s.persist != nil {
 			s.persist.enqueue(j.key, res)
 		}
+		if s.cl != nil {
+			// Degraded or stolen work computed off-owner: make the result
+			// findable cluster-wide by pushing it to the key's owner.
+			s.cl.writeBack(j.key, res)
+		}
 		s.metrics.jobsCompleted.Inc()
 	} else {
 		s.metrics.jobsFailed.Inc()
@@ -539,7 +600,12 @@ func (s *Server) Stats() Stats {
 	tracked := len(s.jobs)
 	s.mu.Unlock()
 	m := s.metrics
+	var cl *ClusterStats
+	if s.cl != nil {
+		cl = s.cl.stats()
+	}
 	return Stats{
+		Cluster:          cl,
 		Submitted:        m.jobsSubmitted.Value(),
 		Completed:        m.jobsCompleted.Value(),
 		Failed:           m.jobsFailed.Value(),
@@ -580,6 +646,9 @@ func (s *Server) Handler() http.Handler {
 	// Prometheus text-format exposition: this server's registry followed
 	// by the process-wide one (sim progress, trace pool, experiment
 	// caches).
+	if s.cl != nil {
+		s.cl.registerHandlers(mux)
+	}
 	mux.Handle("GET /metrics", telemetry.Handler(s.reg, telemetry.Default()))
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -638,6 +707,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error()})
 		return
 	}
+	// Clustered and not already routed once: hand the job to its owning
+	// peer, whose cache and singleflight see every copy of this key.
+	// Falls through to the local path when we own the key or the owner
+	// is unreachable (degrade to local compute, never to an error).
+	if s.cl != nil && r.Header.Get(cluster.HeaderForwarded) == "" && !s.isDraining() {
+		if s.cl.proxySubmit(w, r, spec) {
+			return
+		}
+	}
 	j, status, err := s.submit(spec)
 	if err != nil {
 		switch status {
@@ -655,8 +733,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobByID(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.jobByID(id)
 	if !ok {
+		// Unknown here but maybe tracked by its owner: the job ID embeds
+		// the routing prefix, so any node can locate it.
+		if s.cl != nil && r.Header.Get(cluster.HeaderForwarded) == "" &&
+			s.cl.proxyLookup(w, r, id, "/v1/jobs/"+id) {
+			return
+		}
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
 		return
 	}
@@ -671,11 +756,44 @@ type resultBody struct {
 	Result *JobResult `json:"result,omitempty"`
 }
 
+// maxResultWait caps the ?wait= long-poll on GET /v1/jobs/{id}/result.
+const maxResultWait = 30 * time.Second
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobByID(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.jobByID(id)
 	if !ok {
+		if s.cl != nil && r.Header.Get(cluster.HeaderForwarded) == "" &&
+			s.cl.proxyLookup(w, r, id, "/v1/jobs/"+id+"/result") {
+			return
+		}
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
 		return
+	}
+	// ?wait=<duration> long-polls: block until the job reaches a terminal
+	// status or the wait elapses, then answer normally. Pollers (remote
+	// cell executors, impatient clients) get an immediate completion
+	// signal instead of a timer-driven 202 loop. The wait is capped so a
+	// stuck job cannot pin handler goroutines indefinitely.
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		wait, err := time.ParseDuration(ws)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad wait duration: " + ws})
+			return
+		}
+		if wait > maxResultWait {
+			wait = maxResultWait
+		}
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-j.done:
+			case <-timer.C:
+			case <-r.Context().Done():
+			case <-s.baseCtx.Done():
+			}
+			timer.Stop()
+		}
 	}
 	body := resultBody{JobView: j.view()}
 	status := http.StatusOK

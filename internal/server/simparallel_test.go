@@ -27,6 +27,7 @@ func TestSimParallelismResolution(t *testing.T) {
 	}{
 		{"default-serial", 2, 0, 0},
 		{"explicit", 2, 4, 4},
+		{"one-is-serial", 2, 1, 0}, // width 1 = serial plus overhead
 		{"auto-divides", 1, -1, autoWant(host, 1)},
 		{"auto-full-pool", host, -1, autoWant(host, host)},
 	}

@@ -117,7 +117,8 @@ func (s *Server) cellDone(t sweep.Ticket, res JobResult, err error) {
 		}
 		err = fmt.Errorf("encode result: %w", merr)
 	}
-	transient := errors.Is(err, context.Canceled) || errors.Is(err, errWorkerKilled)
+	transient := errors.Is(err, context.Canceled) || errors.Is(err, errWorkerKilled) ||
+		errors.Is(err, errPeerUnavailable)
 	s.sweeps.CellDone(t, nil, err.Error(), transient)
 }
 
@@ -134,6 +135,13 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad sweep spec: " + err.Error()})
 		return
+	}
+	// Clustered: batch-fetch remote-owned results before admission, so
+	// the manager's admission-time dedupe completes warm cells without
+	// dispatching anything — a warm cluster serves this sweep with zero
+	// recomputation no matter which node received it.
+	if s.cl != nil {
+		s.cl.prefetchSweep(r.Context(), spec)
 	}
 	view, created, err := s.sweeps.Submit(spec)
 	if err != nil {

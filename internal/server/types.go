@@ -177,4 +177,27 @@ type Stats struct {
 	CacheQuarantined uint64 `json:"cache_quarantined"` // corrupt cache files quarantined at startup
 	// Sweep orchestration (see internal/sweep).
 	Sweeps sweep.Counts `json:"sweeps"`
+	// Cluster is present only when this node is part of a sharded
+	// cluster (see cluster.go).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the cluster block of /v1/stats: this node's view of
+// the ring plus its cross-shard traffic counters.
+type ClusterStats struct {
+	Self      string   `json:"self"`
+	Peers     []string `json:"peers"`
+	Unhealthy []string `json:"unhealthy,omitempty"` // peers with open breakers
+
+	Proxied           uint64 `json:"proxied"`             // requests forwarded to owners
+	ProxyErrors       uint64 `json:"proxy_errors"`        // forwards that failed in transport
+	DegradedLocal     uint64 `json:"degraded_local"`      // owner down: computed locally
+	RemoteCacheHits   uint64 `json:"remote_cache_hits"`   // results fetched from owners (cross-shard hits)
+	RemoteCacheMisses uint64 `json:"remote_cache_misses"` // remote lookups that found nothing
+	RemoteCells       uint64 `json:"remote_cells"`        // sweep cells executed on their owner
+	CacheServed       uint64 `json:"cache_served"`        // cache entries served to peers
+	Writebacks        uint64 `json:"writebacks"`          // off-owner results pushed to owners
+	StolenFromPeers   uint64 `json:"stolen_from_peers"`   // cells this node stole
+	StolenByPeers     uint64 `json:"stolen_by_peers"`     // cells peers stole from here
+	StealExpired      uint64 `json:"steal_leases_expired"`
 }

@@ -20,6 +20,21 @@ import (
 	"micromama/internal/workload"
 )
 
+// forceMultiProc lifts GOMAXPROCS to 2 on single-proc hosts for one
+// test: ParallelWorkers deliberately refuses to engage at GOMAXPROCS==1
+// (a 1-proc engine is pure barrier overhead, see BENCH_baseline), but
+// the engine itself must stay covered everywhere — including 1-CPU CI
+// hosts. Raising GOMAXPROCS above NumCPU is legal; the scheduler just
+// time-slices.
+func forceMultiProc(t *testing.T) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) >= 2 {
+		return
+	}
+	old := runtime.GOMAXPROCS(2)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
 // newTestSystem builds a 2-core fixed-controller system over catalog
 // traces.
 func newTestSystem(t *testing.T, parallelism int, warmup uint64) *sim.System {
@@ -66,6 +81,7 @@ func waitGoroutines(t *testing.T, want int) {
 // TestParallelRunReleasesWorkers: RunContext must retire its worker
 // goroutines on every exit path, including cancellation mid-run.
 func TestParallelRunReleasesWorkers(t *testing.T) {
+	forceMultiProc(t)
 	before := runtime.NumGoroutine()
 
 	sys := newTestSystem(t, 4, 0)
@@ -89,6 +105,7 @@ func TestParallelRunReleasesWorkers(t *testing.T) {
 // serial or parallel — must land on exactly the Run result, and Close
 // must retire the workers.
 func TestAdvanceMatchesRun(t *testing.T) {
+	forceMultiProc(t)
 	const target = 40_000
 	want := newTestSystem(t, 0, 0).Run(target, 0)
 	wj, _ := json.Marshal(want)
@@ -133,6 +150,7 @@ func loopTrace(name string, lines int, n int) trace.Reader {
 // a cache-resident working set touched during warmup turns the timed
 // region's cold misses into hits.
 func TestFunctionalWarmup(t *testing.T) {
+	forceMultiProc(t)
 	const (
 		lines  = 256    // 16 KB: fits L1D, so a warm run should miss ~never
 		length = 1024   // one trace revolution covers every line 4x
@@ -193,6 +211,7 @@ func TestParallelismOutsideFingerprint(t *testing.T) {
 
 // TestParallelWorkersEligibility pins the serial-fallback rules.
 func TestParallelWorkersEligibility(t *testing.T) {
+	forceMultiProc(t)
 	build := func(cores, par int, ctrl sim.Controller) *sim.System {
 		t.Helper()
 		names := []string{"spec06.libquantum", "spec06.mcf", "spec17.cactuBSSN", "spec06.cactusADM"}
@@ -228,7 +247,8 @@ func TestParallelWorkersEligibility(t *testing.T) {
 	}{
 		{"serial-knob", 4, 0, sim.NoPrefetchController(), 0},
 		{"one-core", 1, 8, sim.NoPrefetchController(), 0},
-		{"fixed", 4, 8, sim.NoPrefetchController(), 4}, // capped at cores
+		{"one-worker", 4, 1, sim.NoPrefetchController(), 0}, // 1 effective worker = overhead only
+		{"fixed", 4, 8, sim.NoPrefetchController(), 4},      // capped at cores
 		{"fixed-partial", 4, 2, sim.NoPrefetchController(), 2},
 		{"bandit-local", 4, 8, bandit(false, false), 4},
 		{"bandit-shared", 4, 8, bandit(true, false), 0},   // reads all cores mid-epoch
@@ -239,6 +259,14 @@ func TestParallelWorkersEligibility(t *testing.T) {
 		if got := build(tc.cores, tc.par, tc.ctrl).ParallelWorkers(); got != tc.want {
 			t.Errorf("%s: ParallelWorkers = %d, want %d", tc.name, got, tc.want)
 		}
+	}
+
+	// A single-proc host must stay serial no matter what the knob says:
+	// the engine cannot overlap anything at GOMAXPROCS==1.
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	if got := build(4, 8, sim.NoPrefetchController()).ParallelWorkers(); got != 0 {
+		t.Errorf("GOMAXPROCS=1: ParallelWorkers = %d, want 0", got)
 	}
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"micromama/internal/cache"
 	"micromama/internal/dram"
@@ -269,11 +270,13 @@ func (s *System) sampleBandwidth(now uint64) {
 
 // startParallel spins up the parallel epoch engine when the
 // configuration and controller admit it; otherwise the system stays on
-// the serial reference path. Eligibility: Parallelism >= 1, at least
-// two cores (a 1-core system has nothing to overlap and always runs
-// serially), and a controller that declares its demand hook core-local
-// (CoreLocalController) — controllers that mutate cross-core state on
-// demand accesses, like µMama's arbiter, silently fall back to serial.
+// the serial reference path. Eligibility (see ParallelWorkers): at
+// least two cores and two effective workers (a 1-core system has
+// nothing to overlap, a 1-worker engine only adds barrier overhead), a
+// multi-proc host (GOMAXPROCS >= 2), and a controller that declares its
+// demand hook core-local (CoreLocalController) — controllers that
+// mutate cross-core state on demand accesses, like µMama's arbiter,
+// silently fall back to serial.
 func (s *System) startParallel() {
 	if s.par != nil || s.ParallelWorkers() == 0 {
 		return
@@ -296,7 +299,13 @@ func (s *System) stopParallel() {
 }
 
 // ParallelWorkers reports the concurrency the parallel engine runs (or
-// would run) with; 0 means the serial reference path.
+// would run) with; 0 means the serial reference path. Beyond the model
+// eligibility rules (>= 2 cores, core-local controller), the engine only
+// engages when it can actually win: an effective worker count of 1, or a
+// process capped at GOMAXPROCS(1), pays the epoch-barrier and channel
+// overhead with zero overlap — the BENCH_baseline regression that
+// motivated this guard showed 8c "parallel" 9% slower than serial on a
+// single-proc host.
 func (s *System) ParallelWorkers() int {
 	if s.cfg.Parallelism < 1 || len(s.cores) < 2 {
 		return 0
@@ -308,6 +317,9 @@ func (s *System) ParallelWorkers() int {
 	p := s.cfg.Parallelism
 	if p > len(s.cores) {
 		p = len(s.cores)
+	}
+	if p <= 1 || runtime.GOMAXPROCS(0) == 1 {
+		return 0
 	}
 	return p
 }

@@ -1,0 +1,220 @@
+// Command clustersmoke is the `make cluster-smoke` gate: a three-node
+// sharded mamaserved cluster driven end to end with real tiny
+// simulations. A cold sweep submitted to node A is routed across the
+// ring (every cell simulated exactly once cluster-wide), then the same
+// cells are resubmitted under a new sweep name to node C — the warm
+// pass must complete with zero new simulations anywhere, served by
+// cross-shard cache fetches from the owning nodes. It exercises the
+// whole cluster surface (ring routing, remote execution, distributed
+// cache lookup) in-process in a few seconds.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"micromama/internal/client"
+	"micromama/internal/cluster"
+	"micromama/internal/server"
+	"micromama/internal/sweep"
+)
+
+// spec expands to an eight-cell tiny-scale sweep (two mixes × two
+// controllers × two seeds) with a small instruction target so real
+// simulations stay fast while still spreading keys across all shards.
+func spec(name string) sweep.Spec {
+	return sweep.Spec{
+		Name: name,
+		Grid: &sweep.Grid{
+			Mixes:       [][]string{{"spec06.libquantum"}, {"spec06.sphinx3"}},
+			Controllers: []string{"no", "bandit"},
+			Seeds:       []uint64{1, 2},
+			Scales:      []string{"tiny"},
+			Target:      60_000,
+		},
+	}
+}
+
+type node struct {
+	srv *server.Server
+	ts  *httptest.Server
+	url string
+	c   *client.Client
+}
+
+// startCluster binds n loopback listeners first so every node knows the
+// full peer list before any server starts — the same ring on every
+// node, no discovery protocol.
+func startCluster(n int) ([]*node, error) {
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("listen: %w", err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*node, n)
+	for i := range nodes {
+		cl, err := cluster.New(urls[i], urls, cluster.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("cluster node %d: %w", i, err)
+		}
+		srv, err := server.New(server.Config{
+			Workers:    2,
+			QueueDepth: 64,
+			Cluster:    cl,
+			// Eager owner dispatch: every cell runs on the node owning
+			// its key, so the warm pass finds each result exactly where
+			// the ring says it lives (no async write-back to wait on).
+			RemotePeerSlots:    32,
+			RemotePollInterval: 5 * time.Millisecond,
+			StealInterval:      -1, // stealing off: determinism over latency here
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server node %d: %w", i, err)
+		}
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = lns[i]
+		ts.Start()
+		nodes[i] = &node{srv: srv, ts: ts, url: urls[i],
+			c: client.New(urls[i], client.Options{Timeout: 2 * time.Minute})}
+	}
+	return nodes, nil
+}
+
+type stats struct {
+	Simulations uint64 `json:"simulations"`
+	Cluster     *struct {
+		Proxied         uint64 `json:"proxied"`
+		RemoteCells     uint64 `json:"remote_cells"`
+		RemoteCacheHits uint64 `json:"remote_cache_hits"`
+		CacheServed     uint64 `json:"cache_served"`
+	} `json:"cluster"`
+}
+
+func getStats(ctx context.Context, nd *node) (stats, error) {
+	resp, err := nd.c.Get(ctx, "/v1/stats")
+	if err != nil {
+		return stats{}, err
+	}
+	var st stats
+	if err := json.Unmarshal(resp.Body, &st); err != nil {
+		return stats{}, err
+	}
+	if st.Cluster == nil {
+		return stats{}, fmt.Errorf("no cluster block in /v1/stats")
+	}
+	return st, nil
+}
+
+func totalSims(ctx context.Context, nodes []*node) (uint64, error) {
+	var total uint64
+	for _, nd := range nodes {
+		st, err := getStats(ctx, nd)
+		if err != nil {
+			return 0, err
+		}
+		total += st.Simulations
+	}
+	return total, nil
+}
+
+func run() error {
+	nodes, err := startCluster(3)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.ts.Close()
+			nd.srv.Close()
+		}
+	}()
+	a, c := nodes[0], nodes[2]
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Phase 1: cold sweep against node A. The ring routes each cell to
+	// its owning node; cluster-wide each cell simulates exactly once.
+	coldStart := time.Now()
+	v, err := a.c.SubmitSweep(ctx, spec("cluster-smoke"))
+	if err != nil {
+		return fmt.Errorf("cold submit: %w", err)
+	}
+	fmt.Printf("cluster-smoke: submitted %s (%d cells) to node A\n", v.ID, v.Cells)
+	final, err := a.c.StreamSweepResults(ctx, v.ID, func(ev sweep.Event) error { return nil })
+	if err != nil {
+		return fmt.Errorf("cold stream: %w", err)
+	}
+	coldDur := time.Since(coldStart)
+	if final.Done != v.Cells || final.Failed != 0 {
+		return fmt.Errorf("cold sweep: done %d failed %d, want %d/0", final.Done, final.Failed, v.Cells)
+	}
+	simsAfterCold, err := totalSims(ctx, nodes)
+	if err != nil {
+		return err
+	}
+	if simsAfterCold != uint64(v.Cells) {
+		return fmt.Errorf("cold sweep ran %d simulations cluster-wide, want exactly %d (one per cell)",
+			simsAfterCold, v.Cells)
+	}
+	aStats, err := getStats(ctx, a)
+	if err != nil {
+		return err
+	}
+	if aStats.Cluster.RemoteCells == 0 {
+		return fmt.Errorf("node A executed no cells remotely; routing is not happening")
+	}
+	fmt.Printf("cluster-smoke: cold sweep done in %v (%d cells, %d sims cluster-wide, %d routed off A)\n",
+		coldDur.Round(time.Millisecond), final.Done, simsAfterCold, aStats.Cluster.RemoteCells)
+
+	// Phase 2: same cells, new sweep name, submitted to node C. Every
+	// result lives on its owning shard; C must assemble the sweep from
+	// cross-shard cache fetches without a single new simulation.
+	warmStart := time.Now()
+	warm, err := c.c.SubmitSweep(ctx, spec("cluster-smoke-warm"))
+	if err != nil {
+		return fmt.Errorf("warm submit: %w", err)
+	}
+	warmDur := time.Since(warmStart)
+	if warm.Status != "done" || warm.Deduped != v.Cells {
+		return fmt.Errorf("warm sweep: status %q deduped %d, want done with all %d cells deduped",
+			warm.Status, warm.Deduped, v.Cells)
+	}
+	simsAfterWarm, err := totalSims(ctx, nodes)
+	if err != nil {
+		return err
+	}
+	if simsAfterWarm != simsAfterCold {
+		return fmt.Errorf("warm sweep ran %d new simulations, want 0",
+			simsAfterWarm-simsAfterCold)
+	}
+	cStats, err := getStats(ctx, c)
+	if err != nil {
+		return err
+	}
+	if cStats.Cluster.RemoteCacheHits == 0 {
+		return fmt.Errorf("node C reports zero cross-shard cache hits; warm pass was not served by the ring")
+	}
+	fmt.Printf("cluster-smoke: warm sweep to node C answered in %v (%d cells deduped, %d cross-shard cache hits, 0 new simulations)\n",
+		warmDur.Round(time.Millisecond), warm.Deduped, cStats.Cluster.RemoteCacheHits)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("cluster-smoke: PASS")
+}
