@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race chaos sweep-smoke cluster-smoke check bench bench-smoke bench-baseline bench-paper figures examples clean
+.PHONY: all build vet fmt fmt-check lint test race chaos sweep-smoke cluster-smoke tournament-smoke check bench bench-smoke bench-baseline bench-paper figures examples clean
 
 all: check
 
@@ -20,6 +20,18 @@ fmt:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Lint gate: go vet always, plus staticcheck (configured by
+# staticcheck.conf) when the binary is available. CI installs
+# staticcheck explicitly; local machines without it still get vet so
+# the target never demands a network fetch.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not on PATH; ran go vet only (CI runs both)"; \
 	fi
 
 test:
@@ -42,8 +54,11 @@ chaos:
 # submit → stream → restart over the same cache dir → same-cells
 # resubmission answered entirely from the warm cache with zero new
 # simulations. See scripts/sweepsmoke.
+# Smoke targets capture their output to <name>.out (portably preserving
+# the exit status) so CI can upload the file as a failure artifact.
 sweep-smoke:
-	$(GO) run ./scripts/sweepsmoke
+	@$(GO) run ./scripts/sweepsmoke > sweep-smoke.out 2>&1; st=$$?; \
+		cat sweep-smoke.out; exit $$st
 
 # Three sharded in-process nodes driven end to end: a cold sweep
 # submitted to node A is routed across the consistent-hash ring (every
@@ -52,15 +67,27 @@ sweep-smoke:
 # cross-shard cache fetches from the owning nodes. See
 # scripts/clustersmoke.
 cluster-smoke:
-	$(GO) run ./scripts/clustersmoke
+	@$(GO) run ./scripts/clustersmoke > cluster-smoke.out 2>&1; st=$$?; \
+		cat cluster-smoke.out; exit $$st
 
-# The default gate: compile everything, vet, check formatting, run the
-# test suite, re-run it under the race detector, run the chaos suite
-# with fault injection enabled, drive a real sweep end to end, then
-# make sure the hot-path benchmarks still run and stay allocation-free
-# (1 iteration; catches bit-rot and alloc regressions, not timing
-# regressions).
-check: build vet fmt-check test race chaos sweep-smoke cluster-smoke bench-smoke
+# The controller tournament driven end to end against an in-process
+# server: engine-dispatch assertions (PhaseSelect on the parallel
+# epoch path, CoordRL on the serial fallback), a 3-controller ×
+# 2-mix × 1-seed tournament with a complete deterministic leaderboard,
+# then a restart + warm resubmission answered entirely from cache with
+# zero new simulations. See scripts/tournamentsmoke.
+tournament-smoke:
+	@$(GO) run ./scripts/tournamentsmoke > tournament-smoke.out 2>&1; st=$$?; \
+		cat tournament-smoke.out; exit $$st
+
+# The default gate: compile everything, lint (vet + staticcheck when
+# available), check formatting, run the test suite, re-run it under the
+# race detector, run the chaos suite with fault injection enabled,
+# drive a real sweep, the 3-node cluster, and the controller tournament
+# end to end, then make sure the hot-path benchmarks still run and stay
+# allocation-free (1 iteration; catches bit-rot and alloc regressions,
+# not timing regressions).
+check: build lint fmt-check test race chaos sweep-smoke cluster-smoke tournament-smoke bench-smoke
 
 # Hot-path benchmark suite: cache/MSHR microbenchmarks, the per-core
 # advance benchmarks, and end-to-end simulator throughput, compared
@@ -108,3 +135,4 @@ examples:
 clean:
 	rm -f fig2_bandit.svg fig4_shared.svg fig12_mumama.svg
 	rm -f bench.out bench-smoke.out micromama.test *.test
+	rm -f sweep-smoke.out cluster-smoke.out tournament-smoke.out

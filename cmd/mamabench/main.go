@@ -14,7 +14,14 @@
 // so a warm server answers a repeated figure without re-simulating.
 //
 // Experiment ids: tab1 tab2 tab3 fig1 fig2 fig3 fig4 fig9 fig10 fig11
-// fig12 fig13 fig14 fig15a fig15b fig16 overheads, or "all".
+// fig12 fig13 fig14 fig15a fig15b fig16 overheads tournament, or "all".
+//
+// The tournament id races controller families head-to-head over the
+// workload catalog (see internal/tournament):
+//
+//	mamabench -scale small tournament
+//	mamabench -controllers bandit,mumama,phase-select,coord-rl tournament
+//	mamabench -server http://localhost:8077 tournament
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"micromama/internal/client"
@@ -36,6 +45,7 @@ import (
 	"micromama/internal/profiling"
 	"micromama/internal/sim"
 	"micromama/internal/telemetry"
+	"micromama/internal/tournament"
 )
 
 var scales = map[string]experiment.Scale{
@@ -48,13 +58,63 @@ var scales = map[string]experiment.Scale{
 var (
 	svgDir  string
 	jsonDir string
+
+	// Tournament knobs (the "tournament" experiment id).
+	tournamentCtrls string
+	tournamentCores string
+	tournamentSeeds int
+	curScaleName    string
 )
+
+// defaultTournamentControllers races one representative of every
+// coordination family; "all" expands to every registry key that needs
+// no extra options.
+const defaultTournamentControllers = "no,ip_stride,bingo,pythia,spp,bandit,mumama,phase-select,coord-rl"
+
+// buildTournamentSpec resolves the tournament flags into a spec.
+func buildTournamentSpec(scale experiment.Scale, scaleName string) (tournament.Spec, error) {
+	ctrls := tournamentCtrls
+	if ctrls == "all" {
+		keys := make([]string, 0, len(experiment.ControllerKeys))
+		for _, k := range experiment.ControllerKeys {
+			if k != "mumama-profiled" { // requires per-core profiles
+				keys = append(keys, k)
+			}
+		}
+		ctrls = strings.Join(keys, ",")
+	}
+	var cores []int
+	for _, f := range strings.Split(tournamentCores, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return tournament.Spec{}, fmt.Errorf("bad -tournament-cores entry %q", f)
+		}
+		cores = append(cores, n)
+	}
+	spec := tournament.Spec{
+		Controllers: strings.Split(ctrls, ","),
+		CoreCounts:  cores,
+		Seeds:       tournamentSeeds,
+		ScaleName:   scaleName,
+		Scale:       scale,
+	}
+	for i := range spec.Controllers {
+		spec.Controllers[i] = strings.TrimSpace(spec.Controllers[i])
+	}
+	return spec, spec.Validate()
+}
 
 func main() {
 	scaleName := flag.String("scale", "small", "tiny | small | default | full")
 	flag.StringVar(&svgDir, "svg", "", "also write figures as SVG files into this directory")
 	flag.StringVar(&jsonDir, "json", "", "also write report data as JSON files into this directory")
-	server := flag.String("server", "", "run experiments remotely as sweeps against this mamaserved URL (fig11, fig13)")
+	server := flag.String("server", "", "run experiments remotely as sweeps against this mamaserved URL (fig11, fig13, tournament)")
+	flag.StringVar(&tournamentCtrls, "controllers", defaultTournamentControllers,
+		"comma-separated controller keys for the tournament id (\"all\" = every registry key)")
+	flag.StringVar(&tournamentCores, "tournament-cores", "4",
+		"comma-separated core counts the tournament races")
+	flag.IntVar(&tournamentSeeds, "tournament-seeds", 1,
+		"seed replicas: replica i samples mixes with scale seed + i")
 	simPar := flag.Int("sim-parallel", sim.ParallelismFromEnv(0), "goroutines advancing each simulation's cores in parallel; 0 = serial (default; or MAMA_SIM_PARALLEL) since mamabench already runs GOMAXPROCS simulations side by side. Results are bit-identical at any setting")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -86,6 +146,7 @@ func main() {
 		}
 	}
 
+	curScaleName = *scaleName
 	scale, ok := scales[*scaleName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "mamabench: unknown scale %q\n", *scaleName)
@@ -277,6 +338,20 @@ func run(r *experiment.Runner, id string) error {
 			return err
 		}
 		fmt.Print(rep)
+	case "tournament":
+		spec, err := buildTournamentSpec(r.Scale, curScaleName)
+		if err != nil {
+			return err
+		}
+		ctx := r.BaseCtx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		rep, err := tournament.Run(ctx, r, spec)
+		if err != nil {
+			return err
+		}
+		emit("tournament", rep)
 	default:
 		return fmt.Errorf("unknown experiment id %q", id)
 	}

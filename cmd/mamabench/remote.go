@@ -21,6 +21,7 @@ import (
 	"micromama/internal/dram"
 	"micromama/internal/experiment"
 	"micromama/internal/sweep"
+	"micromama/internal/tournament"
 	"micromama/internal/workload"
 )
 
@@ -47,8 +48,14 @@ func (rr *remoteRunner) run(id string) error {
 			return err
 		}
 		emit("fig13", rep)
+	case "tournament":
+		rep, err := rr.tournament()
+		if err != nil {
+			return err
+		}
+		emit("tournament", rep)
 	default:
-		return fmt.Errorf("no remote driver for %q (with -server, only fig11 and fig13 are available)", id)
+		return fmt.Errorf("no remote driver for %q (with -server, only fig11, fig13, and tournament are available)", id)
 	}
 	return nil
 }
@@ -57,6 +64,7 @@ func (rr *remoteRunner) run(id string) error {
 type cellResult struct {
 	WS         float64 `json:"ws"`
 	HS         float64 `json:"hs"`
+	GM         float64 `json:"gm"`
 	Unfairness float64 `json:"unfairness"`
 }
 
@@ -152,6 +160,32 @@ func (m *meanCell) meanUnfairness() float64 {
 		return 0
 	}
 	return m.unfair / float64(m.n)
+}
+
+// tournament runs the controller tournament as one sweep: the exact
+// cells the local driver simulates, submitted once and aggregated from
+// the stream — so a warm (or distributed) cache answers a repeated
+// tournament without a single new simulation.
+func (rr *remoteRunner) tournament() (*tournament.Report, error) {
+	spec, err := buildTournamentSpec(rr.scale, rr.scaleName)
+	if err != nil {
+		return nil, err
+	}
+	sweepSpec, metas, err := spec.SweepSpec()
+	if err != nil {
+		return nil, err
+	}
+	results, err := rr.runSweep(sweepSpec)
+	if err != nil {
+		return nil, err
+	}
+	cells := make(map[int]tournament.CellResult, len(results))
+	for idx, res := range results {
+		cells[idx] = tournament.CellResult{
+			WS: res.WS, HS: res.HS, GM: res.GM, Unfairness: res.Unfairness,
+		}
+	}
+	return spec.Aggregate(metas, cells), nil
 }
 
 // fig11 reproduces Figure 11 (weighted speedup across memory

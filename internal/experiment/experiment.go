@@ -76,6 +76,38 @@ var ControllerKeys = []string{
 	"bandit", "bandit-shared",
 	"mumama", "mumama-fair", "mumama-25", "mumama-50", "mumama-75", "mumama-gm",
 	"mumama-profiled", "mumama-jav-only", "mumama-grw-only", "mumama-l1l2",
+	"phase-select", "coord-rl",
+}
+
+// ControllerInfo describes one controller key for catalog endpoints:
+// its name and whether its demand hooks are core-local under the
+// default configuration — i.e. whether the simulator may run it on the
+// parallel epoch path or must fall back to serial.
+type ControllerInfo struct {
+	Key       string `json:"key"`
+	CoreLocal bool   `json:"core_local"`
+}
+
+// ControllerCatalog returns every known controller with its
+// parallel-path eligibility. Keys whose constructor requires extra
+// options (mumama-profiled) are probed with placeholder options; only
+// the eligibility bit is read from the probe instance.
+func ControllerCatalog() []ControllerInfo {
+	out := make([]ControllerInfo, 0, len(ControllerKeys))
+	for _, key := range ControllerKeys {
+		opt := Options{}
+		if key == "mumama-profiled" {
+			opt.Profiles = []float64{1, 1}
+		}
+		info := ControllerInfo{Key: key}
+		if ctrl, err := MakeController(key, opt); err == nil {
+			if cl, ok := ctrl.(sim.CoreLocalController); ok {
+				info.CoreLocal = cl.CoreLocalDemand()
+			}
+		}
+		out = append(out, info)
+	}
+	return out
 }
 
 // MakeController builds a prefetch controller by key.
@@ -154,6 +186,19 @@ func MakeController(key string, opt Options) (sim.Controller, error) {
 		return mm(core.MetricWS(), func(c *core.MuMamaConfig) { c.DisableGRW = true }), nil
 	case "mumama-grw-only":
 		return mm(core.MetricWS(), func(c *core.MuMamaConfig) { c.DisableJAV = true }), nil
+	case "phase-select":
+		cfg := core.DefaultPhaseSelectConfig()
+		if opt.Step > 0 {
+			cfg.Step = opt.Step
+		}
+		cfg.Seed = 12345
+		return core.NewPhaseSelect(cfg), nil
+	case "coord-rl":
+		cfg := core.DefaultCoordRLConfig()
+		if opt.Step > 0 {
+			cfg.Step = opt.Step
+		}
+		return core.NewCoordRL(cfg), nil
 	case "mumama-l1l2":
 		cfg := core.DefaultMuMamaConfig()
 		if opt.Step > 0 {

@@ -26,6 +26,40 @@ func TestMakeControllerAllKeys(t *testing.T) {
 	}
 }
 
+func TestControllerCatalogEligibility(t *testing.T) {
+	cat := ControllerCatalog()
+	if len(cat) != len(ControllerKeys) {
+		t.Fatalf("catalog has %d entries, want %d", len(cat), len(ControllerKeys))
+	}
+	byKey := map[string]bool{}
+	for _, info := range cat {
+		byKey[info.Key] = info.CoreLocal
+	}
+	// Spot-check the eligibility semantics: fixed engines and the
+	// default Bandit are core-local; µMama's arbiter, the shared-reward
+	// Bandit, and CoordRL's cross-core ledger are not; PhaseSelect is
+	// core-local by construction.
+	want := map[string]bool{
+		"no":            true,
+		"bingo":         true,
+		"bandit":        true,
+		"bandit-shared": false,
+		"mumama":        false,
+		"phase-select":  true,
+		"coord-rl":      false,
+	}
+	for key, coreLocal := range want {
+		got, ok := byKey[key]
+		if !ok {
+			t.Errorf("catalog missing %q", key)
+			continue
+		}
+		if got != coreLocal {
+			t.Errorf("catalog %q core_local = %v, want %v", key, got, coreLocal)
+		}
+	}
+}
+
 func TestMakeControllerErrors(t *testing.T) {
 	if _, err := MakeController("nope", Options{}); err == nil {
 		t.Error("unknown key accepted")

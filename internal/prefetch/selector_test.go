@@ -1,0 +1,102 @@
+package prefetch
+
+import "testing"
+
+func TestSelectorOnlyActiveEngineIssues(t *testing.T) {
+	s := NewSelector(1)
+	if s.Active() != SelOff {
+		t.Fatalf("initial active = %d, want off", s.Active())
+	}
+	// A dense ascending stream: the streamer would fire, but off is
+	// active, so nothing may be issued.
+	var dst []uint64
+	for i := 0; i < 64; i++ {
+		dst = s.OnAccess(0x400, uint64(0x10000+i*64), false, dst[:0])
+		if len(dst) != 0 {
+			t.Fatalf("off selector issued %d candidates", len(dst))
+		}
+	}
+	// Switch to the streamer: its table trained during the off phase,
+	// so candidates flow immediately.
+	s.SetActive(SelStream)
+	issued := 0
+	for i := 64; i < 96; i++ {
+		dst = s.OnAccess(0x400, uint64(0x10000+i*64), false, dst[:0])
+		issued += len(dst)
+	}
+	if issued == 0 {
+		t.Fatal("streamer issued nothing despite warm table")
+	}
+	if got := s.Name(); got != "selector:stream" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestSelectorFeatureTap(t *testing.T) {
+	s := NewSelector(1)
+	// 16 accesses with a constant +64 delta on one page boundary run.
+	for i := 0; i < 16; i++ {
+		s.OnAccess(0x400, uint64(0x20000+i*64), i%2 == 0, nil)
+	}
+	f := s.TakeFeatures()
+	if f.Accesses != 16 {
+		t.Fatalf("Accesses = %d", f.Accesses)
+	}
+	if f.Misses != 8 {
+		t.Errorf("Misses = %d, want 8", f.Misses)
+	}
+	// Deltas repeat from the third access on: 14 stride hits.
+	if f.StrideHits != 14 {
+		t.Errorf("StrideHits = %d, want 14", f.StrideHits)
+	}
+	if f.SmallDelta != 14 {
+		t.Errorf("SmallDelta = %d, want 14", f.SmallDelta)
+	}
+	if f.StrideRegularity() < 0.8 {
+		t.Errorf("StrideRegularity = %g", f.StrideRegularity())
+	}
+	if f.PageLocality() == 0 {
+		t.Error("PageLocality = 0 for a dense stream")
+	}
+	// TakeFeatures must reset interval counters.
+	if g := s.TakeFeatures(); g.Accesses != 0 || g.StrideHits != 0 {
+		t.Errorf("features not reset: %+v", g)
+	}
+}
+
+func TestSelectorFeedbackCountsAndForwards(t *testing.T) {
+	s := NewSelector(1)
+	s.SetActive(SelPythia)
+	s.OnUseful(0x1000, false)
+	s.OnUseful(0x2000, true)
+	s.OnUseless(0x3000)
+	f := s.TakeFeatures()
+	if f.Useful != 2 || f.Useless != 1 {
+		t.Fatalf("Useful/Useless = %d/%d", f.Useful, f.Useless)
+	}
+	if acc := f.Accuracy(); acc < 0.66 || acc > 0.67 {
+		t.Errorf("Accuracy = %g, want 2/3", acc)
+	}
+	if acc := (SelectorFeatures{}).Accuracy(); acc != -1 {
+		t.Errorf("empty-interval Accuracy = %g, want -1 sentinel", acc)
+	}
+}
+
+func TestSelectorBandwidthFanout(t *testing.T) {
+	s := NewSelector(1)
+	// Must not panic and must reach Pythia regardless of active engine.
+	s.SetBandwidthUtil(0.9)
+	py := s.engines[SelPythia].(*Pythia)
+	if py.bwUtil != 0.9 {
+		t.Errorf("Pythia bwUtil = %g, want 0.9", py.bwUtil)
+	}
+}
+
+func TestSelectorRejectsBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetActive(99) did not panic")
+		}
+	}()
+	NewSelector(1).SetActive(99)
+}

@@ -824,10 +824,15 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	out := struct {
 		Traces      []catalogEntry `json:"traces"`
 		Controllers []string       `json:"controllers"`
-		Scales      []string       `json:"scales"`
+		// ControllerInfo carries per-controller parallel-path
+		// eligibility (core_local); Controllers stays for older
+		// clients that expect a bare name list.
+		ControllerInfo []experiment.ControllerInfo `json:"controller_info"`
+		Scales         []string                    `json:"scales"`
 	}{
-		Controllers: experiment.ControllerKeys,
-		Scales:      []string{"tiny", "small", "default", "full"},
+		Controllers:    experiment.ControllerKeys,
+		ControllerInfo: experiment.ControllerCatalog(),
+		Scales:         []string{"tiny", "small", "default", "full"},
 	}
 	for _, sp := range specs {
 		out.Traces = append(out.Traces, catalogEntry{

@@ -421,3 +421,75 @@ func TestBadRequests(t *testing.T) {
 		}
 	}
 }
+
+// TestCatalogControllerEligibility checks that /v1/catalog exposes every
+// controller with its parallel-path eligibility, so tournament clients
+// can validate controller names and predict which families run on the
+// parallel epoch path.
+func TestCatalogControllerEligibility(t *testing.T) {
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cat struct {
+		Controllers    []string `json:"controllers"`
+		ControllerInfo []struct {
+			Key       string `json:"key"`
+			CoreLocal bool   `json:"core_local"`
+		} `json:"controller_info"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.ControllerInfo) != len(cat.Controllers) {
+		t.Fatalf("controller_info has %d rows, controllers %d", len(cat.ControllerInfo), len(cat.Controllers))
+	}
+	want := map[string]bool{"phase-select": true, "coord-rl": false, "mumama": false, "bingo": true}
+	seen := map[string]bool{}
+	for _, info := range cat.ControllerInfo {
+		seen[info.Key] = true
+		if w, ok := want[info.Key]; ok && info.CoreLocal != w {
+			t.Errorf("catalog %q core_local = %v, want %v", info.Key, info.CoreLocal, w)
+		}
+	}
+	for key := range want {
+		if !seen[key] {
+			t.Errorf("catalog missing controller %q", key)
+		}
+	}
+}
+
+// TestUnknownControllerListsKnownSet checks the 400 from an unknown
+// controller names the valid keys (the tournament-client contract).
+func TestUnknownControllerListsKnownSet(t *testing.T) {
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"mix":["spec06.libquantum"],"controller":"phase-selekt"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400 (%s)", resp.StatusCode, buf.String())
+	}
+	body := buf.String()
+	for _, known := range []string{"phase-select", "coord-rl", "mumama", "bandit"} {
+		if !strings.Contains(body, known) {
+			t.Errorf("400 body does not name known controller %q: %s", known, body)
+		}
+	}
+}

@@ -99,7 +99,10 @@ func (s *JobSpec) validate(maxCores int) error {
 		}
 	}
 	if !found {
-		return fmt.Errorf("unknown controller %q", s.Controller)
+		// Name the known set so tournament clients can self-correct
+		// without a second round trip to /v1/catalog.
+		return fmt.Errorf("unknown controller %q (known: %s)",
+			s.Controller, strings.Join(experiment.ControllerKeys, ", "))
 	}
 	if _, ok := scaleByName(s.Scale); !ok {
 		return fmt.Errorf("unknown scale %q (tiny|small|default|full)", s.Scale)

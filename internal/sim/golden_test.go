@@ -33,6 +33,10 @@ type goldenScenario struct {
 	traces []string
 	ctrl   func() sim.Controller
 	target uint64
+	// serialOnly marks scenarios whose controller must fall back to the
+	// serial path even when parallel workers are available (µMama's
+	// arbiter, CoordRL's cross-core ledger).
+	serialOnly bool
 }
 
 func fixedCtrl(name string, f func(int) prefetch.Prefetcher) func() sim.Controller {
@@ -79,7 +83,23 @@ func goldenScenarios() []goldenScenario {
 		{name: "bandit-4c", traces: []string{"spec06.mcf", "spec17.cactuBSSN", "spec06.cactusADM", "spec06.libquantum"},
 			ctrl: bandit, target: 100_000},
 		{name: "mumama-4c", traces: []string{"spec06.mcf", "spec17.cactuBSSN", "spec06.cactusADM", "spec06.libquantum"},
-			ctrl: mumama, target: 100_000},
+			ctrl: mumama, target: 100_000, serialOnly: true},
+		// The tournament families: PhaseSelect is core-local (pinned
+		// bit-identical serial vs parallel like the fixed engines);
+		// CoordRL's cross-core ledger and blended reward must fall back
+		// to the serial path.
+		{name: "phaseselect-2c", traces: []string{"spec06.libquantum", "spec06.mcf"},
+			ctrl: func() sim.Controller {
+				cfg := core.DefaultPhaseSelectConfig()
+				cfg.Step = 150
+				return core.NewPhaseSelect(cfg)
+			}, target: 120_000},
+		{name: "coordrl-2c", traces: []string{"spec06.libquantum", "spec06.mcf"},
+			ctrl: func() sim.Controller {
+				cfg := core.DefaultCoordRLConfig()
+				cfg.Step = 150
+				return core.NewCoordRL(cfg)
+			}, target: 120_000, serialOnly: true},
 	}
 }
 
@@ -188,10 +208,55 @@ func TestGoldenSerialVsParallel(t *testing.T) {
 				t.Errorf("%s: parallelism %d diverged from serial\n got: %s\nwant: %s",
 					sc.name, p, gj, sj)
 			}
-			wantParallel := p >= 2 && len(sc.traces) >= 2 && sc.name != "mumama-4c"
+			wantParallel := p >= 2 && len(sc.traces) >= 2 && !sc.serialOnly
 			if gotParallel := sys.ParallelEpochs() > 0; gotParallel != wantParallel {
 				t.Errorf("%s: parallelism %d: parallel path ran = %v, want %v (workers %d)",
 					sc.name, p, gotParallel, wantParallel, sys.ParallelWorkers())
+			}
+		}
+	}
+}
+
+// TestCoreLocalControllerEligibility is the eligibility table: which
+// controller families advertise core-local demand hooks (and may
+// therefore run on the parallel epoch path) and which must not. This
+// pins the *contract*, complementing TestGoldenSerialVsParallel which
+// pins the engine's runtime dispatch.
+func TestCoreLocalControllerEligibility(t *testing.T) {
+	sharedBandit := func() sim.Controller {
+		cfg := core.DefaultBanditConfig()
+		cfg.SharedReward = true
+		return core.NewBandit(cfg)
+	}
+	timelineBandit := func() sim.Controller {
+		cfg := core.DefaultBanditConfig()
+		cfg.RecordTimeline = true
+		return core.NewBandit(cfg)
+	}
+	cases := []struct {
+		name string
+		ctrl func() sim.Controller
+		// implements: the controller type asserts to CoreLocalController.
+		// coreLocal: and reports true under this configuration.
+		implements, coreLocal bool
+	}{
+		{"fixed/no", func() sim.Controller { return sim.NoPrefetchController() }, true, true},
+		{"bandit", func() sim.Controller { return core.NewBandit(core.DefaultBanditConfig()) }, true, true},
+		{"bandit-shared", sharedBandit, true, false},
+		{"bandit-timeline", timelineBandit, true, false},
+		{"mumama", func() sim.Controller { return core.NewMuMama(core.DefaultMuMamaConfig()) }, false, false},
+		{"phase-select", func() sim.Controller { return core.NewPhaseSelect(core.PhaseSelectConfig{}) }, true, true},
+		{"coord-rl", func() sim.Controller { return core.NewCoordRL(core.CoordRLConfig{}) }, false, false},
+	}
+	for _, tc := range cases {
+		cl, ok := tc.ctrl().(sim.CoreLocalController)
+		if ok != tc.implements {
+			t.Errorf("%s: implements CoreLocalController = %v, want %v", tc.name, ok, tc.implements)
+			continue
+		}
+		if ok {
+			if got := cl.CoreLocalDemand(); got != tc.coreLocal {
+				t.Errorf("%s: CoreLocalDemand() = %v, want %v", tc.name, got, tc.coreLocal)
 			}
 		}
 	}

@@ -1,0 +1,268 @@
+// Command tournamentsmoke is the `make tournament-smoke` gate: the
+// controller tournament driven end to end in one process, in seconds.
+//
+// It asserts, in order:
+//  1. Engine dispatch: a 2-core PhaseSelect simulation at parallelism 2
+//     runs on the parallel epoch path, while the identical CoordRL
+//     simulation falls back to serial (its coordination is cross-core
+//     by design).
+//  2. A tiny tournament (3 controllers × 2 mixes × 1 seed) submitted as
+//     a sweep to an in-process mamaserved produces a complete
+//     leaderboard, and aggregating the same cell results twice yields
+//     the identical ranking (deterministic leaderboard).
+//  3. A restart over the same cache dir followed by a warm resubmission
+//     of the same cells completes with zero new simulations, and its
+//     leaderboard matches the cold one.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"micromama/internal/client"
+	"micromama/internal/experiment"
+	"micromama/internal/server"
+	"micromama/internal/sim"
+	"micromama/internal/sweep"
+	"micromama/internal/tournament"
+	"micromama/internal/workload"
+)
+
+// tournamentSpec is the 3×2×1 tournament: one core-local family
+// (phase-select), one serial-fallback family (coord-rl), and the
+// paper's bandit as the incumbent, over two tiny 2-core mixes.
+func tournamentSpec() tournament.Spec {
+	scale := experiment.ScaleTiny
+	scale.MixCount = 2
+	return tournament.Spec{
+		Controllers: []string{"bandit", "phase-select", "coord-rl"},
+		CoreCounts:  []int{2},
+		Seeds:       1,
+		ScaleName:   "tiny",
+		Scale:       scale,
+		Target:      60_000,
+	}
+}
+
+// assertPaths pins the engine dispatch for the two new families by
+// running each directly at parallelism 2 on a 2-core system.
+func assertPaths() error {
+	if runtime.GOMAXPROCS(0) < 2 {
+		// The parallel engine declines on single-proc hosts; the path
+		// assertion needs at least two.
+		runtime.GOMAXPROCS(2)
+	}
+	run := func(key string) (*sim.System, error) {
+		ctrl, err := experiment.MakeController(key, experiment.Options{Step: 150})
+		if err != nil {
+			return nil, err
+		}
+		var traces []string = []string{"spec06.libquantum", "spec06.mcf"}
+		mix := workload.Mix{}
+		for _, name := range traces {
+			sp, err := workload.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			mix.Specs = append(mix.Specs, sp)
+		}
+		cfg := sim.DefaultConfig(2)
+		cfg.Parallelism = 2
+		sys, err := sim.New(cfg, mix.Traces(), ctrl)
+		if err != nil {
+			return nil, err
+		}
+		sys.Run(60_000, 60_000*14)
+		return sys, nil
+	}
+
+	ps, err := run("phase-select")
+	if err != nil {
+		return fmt.Errorf("phase-select run: %w", err)
+	}
+	if ps.ParallelEpochs() == 0 {
+		return fmt.Errorf("phase-select ran 0 parallel epochs at parallelism 2 (workers %d); it must take the parallel path",
+			ps.ParallelWorkers())
+	}
+	cr, err := run("coord-rl")
+	if err != nil {
+		return fmt.Errorf("coord-rl run: %w", err)
+	}
+	if cr.ParallelEpochs() != 0 {
+		return fmt.Errorf("coord-rl ran %d parallel epochs; its cross-core coordination must fall back to serial",
+			cr.ParallelEpochs())
+	}
+	fmt.Printf("tournament-smoke: paths ok (phase-select parallel epochs %d, coord-rl 0)\n",
+		ps.ParallelEpochs())
+	return nil
+}
+
+// runTournament submits the tournament's cells as a sweep and returns
+// the streamed per-cell results.
+func runTournament(ctx context.Context, c *client.Client, spec sweep.Spec, cellCount int) (map[int]tournament.CellResult, sweep.View, error) {
+	v, err := c.SubmitSweep(ctx, spec)
+	if err != nil {
+		return nil, sweep.View{}, fmt.Errorf("submit: %w", err)
+	}
+	if v.Cells != cellCount {
+		return nil, sweep.View{}, fmt.Errorf("sweep has %d cells, want %d", v.Cells, cellCount)
+	}
+	results := make(map[int]tournament.CellResult)
+	final, err := c.StreamSweepResults(ctx, v.ID, func(ev sweep.Event) error {
+		switch ev.Status {
+		case sweep.CellDone, sweep.CellDeduped:
+			var res tournament.CellResult
+			if jerr := json.Unmarshal(ev.Result, &res); jerr != nil {
+				return fmt.Errorf("cell %d: %w", ev.Cell, jerr)
+			}
+			results[ev.Cell] = res
+		case sweep.CellFailed:
+			return fmt.Errorf("cell %d failed: %s", ev.Cell, ev.Error)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, sweep.View{}, fmt.Errorf("stream: %w", err)
+	}
+	if len(results) != cellCount {
+		return nil, sweep.View{}, fmt.Errorf("streamed %d of %d cell results", len(results), cellCount)
+	}
+	return results, final, nil
+}
+
+// checkReport asserts the leaderboard is complete: every controller
+// present, ranked, with the full cell count aggregated.
+func checkReport(rep *tournament.Report, spec tournament.Spec) error {
+	if len(rep.Rows) != len(spec.Controllers) {
+		return fmt.Errorf("leaderboard has %d rows, want %d", len(rep.Rows), len(spec.Controllers))
+	}
+	cellsPer := spec.Scale.MixCount * len(spec.CoreCounts) * spec.Seeds
+	for _, row := range rep.Rows {
+		if row.Cells != cellsPer {
+			return fmt.Errorf("%s aggregated %d cells, want %d", row.Controller, row.Cells, cellsPer)
+		}
+		if row.MeanWS <= 0 {
+			return fmt.Errorf("%s mean WS = %g", row.Controller, row.MeanWS)
+		}
+	}
+	// The eligibility column must match the families' contracts.
+	for _, row := range rep.Rows {
+		switch row.Controller {
+		case "phase-select", "bandit":
+			if !row.CoreLocal {
+				return fmt.Errorf("%s not marked core-local in the leaderboard", row.Controller)
+			}
+		case "coord-rl":
+			if row.CoreLocal {
+				return fmt.Errorf("coord-rl marked core-local; it must not be")
+			}
+		}
+	}
+	return nil
+}
+
+func run() error {
+	if err := assertPaths(); err != nil {
+		return err
+	}
+
+	spec := tournamentSpec()
+	sweepSpec, metas, err := spec.SweepSpec()
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "tournamentsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Phase 1: cold tournament on a fresh server.
+	srv1, err := server.New(server.Config{Workers: 2, QueueDepth: 16, CacheDir: dir})
+	if err != nil {
+		return fmt.Errorf("server 1: %w", err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := client.New(ts1.URL, client.Options{Timeout: 2 * time.Minute})
+
+	results, final, err := runTournament(ctx, c1, sweepSpec, len(metas))
+	if err != nil {
+		return fmt.Errorf("cold tournament: %w", err)
+	}
+	rep := spec.Aggregate(metas, results)
+	if err := checkReport(rep, spec); err != nil {
+		return fmt.Errorf("cold leaderboard: %w", err)
+	}
+	// Deterministic leaderboard: aggregating the same cells again must
+	// reproduce the identical report (ranking, metrics, win matrix).
+	if again := spec.Aggregate(metas, results); again.String() != rep.String() {
+		return fmt.Errorf("aggregation not deterministic:\n%s\nvs\n%s", rep, again)
+	}
+	fmt.Printf("tournament-smoke: cold tournament done (%d cells, winner %s)\n",
+		final.Done+final.Deduped, rep.Rows[0].Controller)
+
+	ts1.Close()
+	if err := srv1.Shutdown(context.Background()); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+
+	// Phase 2: restart over the same cache dir; the same tournament
+	// under a new sweep name must be answered wholesale from the warm
+	// cache with zero new simulations.
+	srv2, err := server.New(server.Config{Workers: 2, QueueDepth: 16, CacheDir: dir})
+	if err != nil {
+		return fmt.Errorf("server 2: %w", err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	c2 := client.New(ts2.URL, client.Options{Timeout: 2 * time.Minute})
+
+	warmSpec := sweepSpec
+	warmSpec.Name += "-warm"
+	warmResults, warmFinal, err := runTournament(ctx, c2, warmSpec, len(metas))
+	if err != nil {
+		return fmt.Errorf("warm tournament: %w", err)
+	}
+	if warmFinal.Deduped != len(metas) {
+		return fmt.Errorf("warm tournament deduped %d of %d cells", warmFinal.Deduped, len(metas))
+	}
+	resp, err := c2.Get(ctx, "/v1/stats")
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	var st struct {
+		Simulations uint64 `json:"simulations"`
+	}
+	if err := json.Unmarshal(resp.Body, &st); err != nil {
+		return fmt.Errorf("decode stats: %w", err)
+	}
+	if st.Simulations != 0 {
+		return fmt.Errorf("restarted server ran %d simulations for a warm tournament, want 0", st.Simulations)
+	}
+	warmRep := spec.Aggregate(metas, warmResults)
+	if warmRep.String() != rep.String() {
+		return fmt.Errorf("warm leaderboard diverged from cold:\n%s\nvs\n%s", rep, warmRep)
+	}
+	fmt.Printf("tournament-smoke: warm tournament answered from cache (%d cells, 0 simulations)\n",
+		warmFinal.Deduped)
+	fmt.Print(rep)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tournament-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tournament-smoke: PASS")
+}
