@@ -60,12 +60,15 @@ sweep-smoke:
 	@$(GO) run ./scripts/sweepsmoke > sweep-smoke.out 2>&1; st=$$?; \
 		cat sweep-smoke.out; exit $$st
 
-# Three sharded in-process nodes driven end to end: a cold sweep
-# submitted to node A is routed across the consistent-hash ring (every
-# cell simulated exactly once cluster-wide), then the same cells
-# resubmitted to node C complete with zero new simulations, served by
-# cross-shard cache fetches from the owning nodes. See
-# scripts/clustersmoke.
+# Three sharded in-process nodes (gossip membership) driven end to
+# end: a cold sweep submitted to node A is routed across the
+# consistent-hash ring (every cell simulated exactly once
+# cluster-wide), the same cells resubmitted to node C complete with
+# zero new simulations served by cross-shard cache fetches, then a
+# churn phase kills node B mid-sweep (confirm-dead + exactly-once
+# completion on the survivors) and restarts it (gossip rejoin with a
+# bumped incarnation, anti-entropy cache repair, warm resubmission
+# with zero new simulations). See scripts/clustersmoke.
 cluster-smoke:
 	@$(GO) run ./scripts/clustersmoke > cluster-smoke.out 2>&1; st=$$?; \
 		cat cluster-smoke.out; exit $$st

@@ -67,22 +67,27 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "structured-log format: text|json")
 
 		// Cluster membership (see docs/ARCHITECTURE.md, "Cluster &
-		// sharding"). Every node must be handed the same peer set; the
-		// ring is computed deterministically from it, no coordination.
-		peers         = flag.String("peers", "", "comma-separated peer URLs forming a sharded cluster (include or omit this node; it is added automatically)")
-		membership    = flag.String("membership", "", "JSON membership file: a bare array of peer URLs or {\"peers\": [...]} (alternative to -peers)")
-		advertise     = flag.String("advertise", "", "this node's URL as peers reach it (e.g. http://10.0.0.5:8077); required with -peers/-membership")
+		// sharding"). -peers/-membership/-join are bootstrap seeds; with
+		// gossip enabled (the default for clustered nodes) the live
+		// member set is maintained by the SWIM failure detector, so a
+		// node can die, rejoin, or be added without restarting the rest.
+		peers         = flag.String("peers", "", "comma-separated peer URLs seeding a sharded cluster (include or omit this node; it is added automatically). With gossip these are bootstrap members; the live set evolves from there")
+		membership    = flag.String("membership", "", "JSON membership seed file: a bare array of peer URLs or {\"peers\": [...]} (alternative to -peers)")
+		join          = flag.String("join", "", "comma-separated URLs of existing cluster nodes to join via gossip; unlike -peers they are contacted, not assumed — membership comes from what they answer")
+		advertise     = flag.String("advertise", "", "this node's URL as peers reach it (e.g. http://10.0.0.5:8077); required with -peers/-membership/-join")
 		vnodes        = flag.Int("vnodes", 0, "virtual nodes per peer on the consistent-hash ring (0 = 128)")
-		stealInterval = flag.Duration("steal-interval", 0, "how often an idle node polls peers for queued sweep cells (0 = 250ms; negative disables work stealing)")
+		stealInterval = flag.Duration("steal-interval", 0, "base interval for an idle node's steal polls; backs off exponentially while victims are empty (0 = 250ms; negative disables work stealing)")
+		gossipEvery   = flag.Duration("gossip-interval", time.Second, "SWIM probe interval (0 or negative disables gossip: membership stays fixed at the bootstrap seeds)")
+		suspectT      = flag.Duration("suspect-timeout", 0, "how long a suspected peer has to refute before it is confirmed dead (0 = 5x gossip-interval)")
 	)
 	flag.Parse()
 
 	logger := telemetry.NewLogger(*logLevel, *logFormat)
 
 	var cl *cluster.Cluster
-	if *peers != "" || *membership != "" {
+	if *peers != "" || *membership != "" || *join != "" {
 		if *advertise == "" {
-			fmt.Fprintln(os.Stderr, "mamaserved: -advertise is required with -peers/-membership")
+			fmt.Fprintln(os.Stderr, "mamaserved: -advertise is required with -peers/-membership/-join")
 			os.Exit(2)
 		}
 		list := []string{}
@@ -99,14 +104,39 @@ func main() {
 				list = append(list, p)
 			}
 		}
+		joinSeeds := []string{}
+		for _, p := range strings.Split(*join, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				joinSeeds = append(joinSeeds, p)
+			}
+		}
+		if len(list) == 0 && len(joinSeeds) == 0 {
+			fmt.Fprintln(os.Stderr, "mamaserved: -join lists no URLs")
+			os.Exit(2)
+		}
 		var err error
 		cl, err = cluster.New(*advertise, list, cluster.Options{Vnodes: *vnodes})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mamaserved:", err)
 			os.Exit(1)
 		}
+		if *gossipEvery > 0 {
+			// Every bootstrap source doubles as a gossip seed: a
+			// restarted node re-syncs with whoever it knew, learns its
+			// own tombstone, and rejoins with a bumped incarnation — no
+			// flag changes needed.
+			cl.EnableGossip(cluster.GossipOptions{
+				Interval:       *gossipEvery,
+				SuspectTimeout: *suspectT,
+				Seeds:          append(append([]string{}, list...), joinSeeds...),
+			})
+		} else if len(joinSeeds) > 0 {
+			fmt.Fprintln(os.Stderr, "mamaserved: -join requires gossip (-gossip-interval > 0)")
+			os.Exit(2)
+		}
 		logger.Info("cluster configured", "self", cl.Self(),
-			"peers", len(cl.Peers()), "ring_size", cl.Size())
+			"peers", len(cl.Peers()), "ring_size", cl.Size(),
+			"gossip", cl.GossipEnabled())
 	}
 
 	if *traceCache != "" {

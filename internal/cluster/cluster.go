@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"micromama/internal/faultinject"
@@ -57,20 +58,47 @@ type peerHealth struct {
 	openUntil time.Time // unhealthy until this instant once open
 }
 
-// Cluster is one node's view of the peer set: the ring, the breaker
-// table, and the HTTP client used for peer RPCs. Safe for concurrent
-// use.
+// Cluster is one node's view of the peer set: versioned membership,
+// the ring, the breaker table, and the HTTP client used for peer RPCs.
+// Safe for concurrent use.
+//
+// Membership starts from the bootstrap peer list and, when gossip is
+// enabled (EnableGossip), evolves at runtime: the SWIM failure
+// detector in gossip.go mutates the member table and every transition
+// rebuilds the ring and swaps it in atomically, so readers always see
+// a complete, internally-consistent ring.
 type Cluster struct {
-	self  string
-	ring  *Ring
-	hc    *http.Client
-	rpcTO time.Duration
+	self   string
+	vnodes int
+	hc     *http.Client
+	rpcTO  time.Duration
 
 	failureThreshold int
 	cooldown         time.Duration
 
 	mu     sync.Mutex
 	health map[string]*peerHealth
+
+	// Membership state. ring/ringHash/version are lock-free snapshots
+	// for the hot routing path; the member table behind them is guarded
+	// by memMu and mutated only in gossip.go.
+	ring     atomic.Pointer[Ring]
+	ringHash atomic.Uint64
+	version  atomic.Uint64
+
+	memMu   sync.Mutex
+	members map[string]*member       // peers only, never self
+	selfInc uint64                   // this node's incarnation
+	queue   map[string]*queuedUpdate // piggyback deltas awaiting retransmission
+
+	hooksMu sync.Mutex
+	hooks   []func(ChangeEvent)
+
+	suspectsCount atomic.Uint64
+	refutes       atomic.Uint64
+	confirmsCount atomic.Uint64
+
+	gossip *gossipState // nil → static membership
 }
 
 // NewTransport returns an http.Transport tuned for cluster traffic:
@@ -115,15 +143,28 @@ func New(self string, peers []string, opts Options) (*Cluster, error) {
 	if hc == nil {
 		hc = &http.Client{Transport: NewTransport()}
 	}
-	return &Cluster{
+	c := &Cluster{
 		self:             self,
-		ring:             ring,
+		vnodes:           opts.Vnodes,
 		hc:               hc,
 		rpcTO:            opts.RPCTimeout,
 		failureThreshold: opts.FailureThreshold,
 		cooldown:         opts.Cooldown,
 		health:           make(map[string]*peerHealth),
-	}, nil
+		members:          make(map[string]*member),
+		queue:            make(map[string]*queuedUpdate),
+	}
+	// Bootstrap peers enter the table alive at incarnation 0; the ring
+	// over them is identical on every node that holds the same list.
+	for _, p := range ring.Peers() {
+		if p != self {
+			c.members[p] = &member{inc: 0, state: StateAlive}
+		}
+	}
+	c.ring.Store(ring)
+	c.ringHash.Store(hash64(joinPeers(ring.Peers())))
+	c.version.Store(1)
+	return c, nil
 }
 
 // LoadMembership reads a JSON membership file: either a bare array of
@@ -152,10 +193,11 @@ func LoadMembership(path string) ([]string, error) {
 // Self returns this node's normalized advertised URL.
 func (c *Cluster) Self() string { return c.self }
 
-// Peers returns every ring member except self.
+// Peers returns every current ring member except self.
 func (c *Cluster) Peers() []string {
-	out := make([]string, 0, len(c.ring.Peers()))
-	for _, p := range c.ring.Peers() {
+	peers := c.ring.Load().Peers()
+	out := make([]string, 0, len(peers))
+	for _, p := range peers {
 		if p != c.self {
 			out = append(out, p)
 		}
@@ -164,7 +206,7 @@ func (c *Cluster) Peers() []string {
 }
 
 // Size returns the total ring membership including self.
-func (c *Cluster) Size() int { return len(c.ring.Peers()) }
+func (c *Cluster) Size() int { return len(c.ring.Load().Peers()) }
 
 // Owner returns the peer owning a routing key. Job routing hashes the
 // key's 16-hex-digit prefix — exactly the digits embedded in the job
@@ -174,7 +216,7 @@ func (c *Cluster) Owner(key string) string {
 	if len(key) > 16 {
 		key = key[:16]
 	}
-	return c.ring.Owner(key)
+	return c.ring.Load().Owner(key)
 }
 
 // OwnerOfJobID routes a job ID ("j" + 16 hex digits of the key): the
@@ -189,6 +231,20 @@ func (c *Cluster) OwnerOfJobID(id string) string {
 
 // IsSelf reports whether a peer URL names this node.
 func (c *Cluster) IsSelf(peer string) bool { return NormalizePeer(peer) == c.self }
+
+// Contains reports whether a URL is in the current ring (self
+// included). During membership convergence two nodes can briefly
+// disagree on this; callers that need agreement (e.g. anti-entropy
+// repair) should retry rather than trust one snapshot.
+func (c *Cluster) Contains(peer string) bool {
+	peer = NormalizePeer(peer)
+	for _, p := range c.ring.Load().Peers() {
+		if p == peer {
+			return true
+		}
+	}
+	return false
+}
 
 // Healthy reports whether a peer's breaker admits traffic: closed, or
 // open but past its cooldown (one probe is allowed through; a success
@@ -273,6 +329,9 @@ func (c *Cluster) DoTimeout(ctx context.Context, peer, method, path string, body
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set(HeaderForwarded, "1")
+	if g := c.GossipHeaderValue(); g != "" {
+		req.Header.Set(HeaderGossip, g)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		c.ReportFailure(peer)
@@ -287,6 +346,9 @@ func (c *Cluster) DoTimeout(ctx context.Context, peer, method, path string, body
 	// Any HTTP answer means the peer process is alive; 4xx/5xx are its
 	// considered opinion, not a transport failure.
 	c.ReportSuccess(peer)
+	// Ordinary cluster traffic doubles as a gossip channel: merge the
+	// peer's piggybacked membership deltas.
+	c.ApplyGossipHeader(resp.Header.Get(HeaderGossip))
 	return resp.StatusCode, b, nil
 }
 

@@ -49,6 +49,66 @@ func TestBreaker(t *testing.T) {
 	}
 }
 
+// TestBreakerHalfOpenRecovery pins the half-open contract from both
+// sides: after the cooldown the breaker admits exactly the probe
+// traffic (Healthy flips true, the peer leaves UnhealthyPeers), a
+// failed probe re-opens it for a fresh cooldown, and a successful
+// probe closes it fully — the peer then tolerates FailureThreshold-1
+// new failures before opening again.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	const peer = "http://peer:1"
+	c, err := New("http://self:1", []string{peer}, Options{
+		FailureThreshold: 2, Cooldown: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip := func() {
+		c.ReportFailure(peer)
+		c.ReportFailure(peer)
+	}
+
+	// Open, then cooldown: half-open (probe admitted, off the
+	// unhealthy list).
+	trip()
+	if c.Healthy(peer) {
+		t.Fatal("breaker did not open at the threshold")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !c.Healthy(peer) {
+		t.Fatal("half-open breaker did not admit a probe after cooldown")
+	}
+	if got := c.UnhealthyPeers(); len(got) != 0 {
+		t.Fatalf("UnhealthyPeers after cooldown = %v, want empty (half-open)", got)
+	}
+
+	// A failed probe re-opens immediately for a fresh cooldown.
+	c.ReportFailure(peer)
+	if c.Healthy(peer) {
+		t.Fatal("failed probe did not re-open the half-open breaker")
+	}
+	if got := c.UnhealthyPeers(); len(got) != 1 || got[0] != peer {
+		t.Fatalf("UnhealthyPeers after failed probe = %v, want [%s]", got, peer)
+	}
+
+	// Cooldown again, successful probe: fully closed — the failure
+	// count resets, so one new failure (below threshold) stays healthy
+	// and a second opens it again.
+	time.Sleep(60 * time.Millisecond)
+	if !c.Healthy(peer) {
+		t.Fatal("breaker did not admit the second probe")
+	}
+	c.ReportSuccess(peer)
+	c.ReportFailure(peer)
+	if !c.Healthy(peer) {
+		t.Fatal("successful probe did not reset the failure count")
+	}
+	c.ReportFailure(peer)
+	if c.Healthy(peer) {
+		t.Fatal("closed breaker did not re-open at the threshold")
+	}
+}
+
 // TestDoFeedsBreaker: transport failures open the breaker through Do,
 // and any HTTP answer (even a 500) closes it — an answering peer is
 // alive.

@@ -7,11 +7,14 @@
 // peer stops answering — a partition slows the cluster down, it never
 // surfaces errors to clients.
 //
-// Membership is static for now: a peer list on the command line or a
-// JSON membership file. Because ring construction is deterministic
-// (peers are sorted before hashing, vnode points depend only on the
-// peer URL), every node that holds the same peer list computes the
-// same ring — there is no coordination protocol to get wrong.
+// Membership is seeded from the command line or a JSON membership
+// file and, with gossip enabled, maintained at runtime by a SWIM-style
+// failure detector (gossip.go): probes suspect unresponsive peers,
+// suspects that fail to refute are confirmed dead and leave the ring,
+// and rejoining nodes announce themselves with a bumped incarnation.
+// Because ring construction is deterministic (peers are sorted before
+// hashing, vnode points depend only on the peer URL), every node that
+// converges on the same member set computes the identical ring.
 package cluster
 
 import (

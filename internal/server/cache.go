@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // resultCache is the content-addressed result store: completed job
 // results keyed by the canonical job hash (see jobhash.go). Results are
@@ -42,4 +45,18 @@ func (c *resultCache) size() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// keysSorted snapshots every cached key in lexicographic order. The
+// anti-entropy repair scan pages through this with a cursor, so the
+// order must be stable across calls on an append-only cache.
+func (c *resultCache) keysSorted() []string {
+	c.mu.RLock()
+	keys := make([]string, 0, len(c.m))
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	c.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
 }

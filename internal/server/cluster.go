@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -66,6 +67,8 @@ type clusterMetrics struct {
 	stealsOut    *telemetry.Counter // cells this node stole from peers
 	stealsIn     *telemetry.Counter // cells peers stole from this node
 	stealExpired *telemetry.Counter // stolen-cell leases that expired
+	repairPulled *telemetry.Counter // cache entries pulled by anti-entropy repair
+	deadRequeued *telemetry.Counter // leases requeued because the thief was confirmed dead
 }
 
 func newClusterMetrics(r *telemetry.Registry) *clusterMetrics {
@@ -93,7 +96,32 @@ func newClusterMetrics(r *telemetry.Registry) *clusterMetrics {
 			"Sweep cells peers stole from this node's queue."),
 		stealExpired: r.Counter("mama_cluster_steal_leases_expired_total",
 			"Stolen-cell leases that expired without a report (thief died)."),
+		repairPulled: r.Counter("mama_cluster_repair_pulled_total",
+			"Cache entries pulled from previous owners by anti-entropy repair."),
+		deadRequeued: r.Counter("mama_cluster_dead_requeued_total",
+			"Stolen-cell leases requeued early because the thief was confirmed dead."),
 	}
+}
+
+// registerMembership exposes the gossip layer's live membership state
+// as metrics: a member-count gauge, the node-local membership version,
+// and the lifetime suspicion / refutation / confirm-dead counters.
+func (cm *clusterMetrics) registerMembership(c *cluster.Cluster) {
+	cm.reg.GaugeFunc("mama_cluster_members",
+		"Current ring membership including self.",
+		func() float64 { return float64(c.Size()) })
+	cm.reg.GaugeFunc("mama_cluster_membership_version",
+		"Node-local membership version, bumped once per atomic ring transition.",
+		func() float64 { return float64(c.MembershipVersion()) })
+	cm.reg.CounterFunc("mama_cluster_suspect_total",
+		"Members this node has suspected (locally or via gossip).",
+		func() uint64 { s, _, _ := c.GossipCounts(); return s })
+	cm.reg.CounterFunc("mama_cluster_refute_total",
+		"Suspicions about this node it refuted by bumping its incarnation.",
+		func() uint64 { _, r, _ := c.GossipCounts(); return r })
+	cm.reg.CounterFunc("mama_cluster_confirm_dead_total",
+		"Members confirmed dead (suspect timeout expired or learned via gossip).",
+		func() uint64 { _, _, d := c.GossipCounts(); return d })
 }
 
 // perPeer bumps the labeled sibling of an aggregate counter. The
@@ -129,16 +157,18 @@ type clusterState struct {
 	c *cluster.Cluster
 	m *clusterMetrics
 
-	sem        chan struct{}            // bounds concurrent remote cell executions
-	peerSem    map[string]chan struct{} // per-peer in-flight bound (late binding)
-	pollEvery  time.Duration            // remote job result poll interval
-	stealEvery time.Duration            // thief poll interval; <= 0 disables stealing
-	lease      time.Duration            // stolen-cell lease duration
-	minPending int                      // pending cells a victim keeps for itself
+	sem        chan struct{} // bounds concurrent remote cell executions
+	peerSlots  int           // capacity of each per-peer semaphore
+	pollEvery  time.Duration // remote job result poll interval
+	stealEvery time.Duration // thief poll interval; <= 0 disables stealing
+	lease      time.Duration // stolen-cell lease duration
+	minPending int           // pending cells a victim keeps for itself
 
 	mu       sync.Mutex
+	peerSem  map[string]chan struct{} // per-peer in-flight bound, created on demand
 	leases   map[leaseKey]*stolenLease
-	stealCur int // round-robin cursor over peers
+	stealCur int        // round-robin cursor over peers
+	stealRng *rand.Rand // jitter source for steal backoff
 
 	wg sync.WaitGroup
 }
@@ -152,10 +182,6 @@ func newClusterState(s *Server) *clusterState {
 	peerSlots := cfg.RemotePeerSlots
 	if peerSlots <= 0 {
 		peerSlots = cfg.Workers
-	}
-	peerSem := make(map[string]chan struct{}, len(cfg.Cluster.Peers()))
-	for _, p := range cfg.Cluster.Peers() {
-		peerSem[p] = make(chan struct{}, peerSlots)
 	}
 	poll := cfg.RemotePollInterval
 	if poll <= 0 {
@@ -175,30 +201,72 @@ func newClusterState(s *Server) *clusterState {
 	} else if minPending < 0 {
 		minPending = 0 // negative: give away everything that is queued
 	}
-	return &clusterState{
+	cs := &clusterState{
 		s:          s,
 		c:          cfg.Cluster,
 		m:          newClusterMetrics(s.reg),
 		sem:        make(chan struct{}, slots),
-		peerSem:    peerSem,
+		peerSlots:  peerSlots,
 		pollEvery:  poll,
 		stealEvery: stealEvery,
 		lease:      lease,
 		minPending: minPending,
+		peerSem:    make(map[string]chan struct{}),
 		leases:     make(map[leaseKey]*stolenLease),
+		stealRng:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	if cfg.Cluster.GossipEnabled() {
+		cs.m.registerMembership(cfg.Cluster)
+	}
+	// The ring-change hook must be in place before gossip starts (see
+	// start()): a transition observed with no hook would skip repair.
+	cfg.Cluster.OnChange(cs.onRingChange)
+	return cs
+}
+
+// peerSlot returns (creating on demand) the in-flight bound for one
+// peer. Created lazily because gossip membership means the peer set is
+// not known at construction time.
+func (cs *clusterState) peerSlot(peer string) chan struct{} {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ps, ok := cs.peerSem[peer]
+	if !ok {
+		ps = make(chan struct{}, cs.peerSlots)
+		cs.peerSem[peer] = ps
+	}
+	return ps
 }
 
 // start launches the background goroutines: the lease janitor and (if
 // enabled) the stealer. Both exit when the server's base context is
 // cancelled; wait() joins them and any in-flight remote executions.
 func (cs *clusterState) start() {
+	// Gossip starts here, after newClusterState registered the ring-
+	// change hook, so no transition can be missed.
+	cs.c.StartGossip()
 	cs.wg.Add(1)
 	go func() {
 		defer cs.wg.Done()
 		cs.janitorLoop()
 	}()
-	if cs.stealEvery > 0 && len(cs.c.Peers()) > 0 {
+	// A gossip node repairs itself once at boot: a restarted member
+	// pulls back the warm entries it owns from whoever kept serving
+	// while it was gone (join-only nodes with no bootstrap peers get
+	// the same effect from the onRingChange hook when the synced
+	// membership lands). Static-membership clusters skip this — their
+	// caches never moved.
+	if cs.c.GossipEnabled() && len(cs.c.Peers()) > 0 {
+		cs.wg.Add(1)
+		go func() {
+			defer cs.wg.Done()
+			cs.repairOwned()
+		}()
+	}
+	// With gossip the peer set can grow from empty (a node started with
+	// only -join seeds), so the stealer starts whenever membership can
+	// change, not just when bootstrap peers exist.
+	if cs.stealEvery > 0 && (len(cs.c.Peers()) > 0 || cs.c.GossipEnabled()) {
 		cs.wg.Add(1)
 		go func() {
 			defer cs.wg.Done()
@@ -207,7 +275,62 @@ func (cs *clusterState) start() {
 	}
 }
 
-func (cs *clusterState) wait() { cs.wg.Wait() }
+func (cs *clusterState) wait() {
+	// Stop gossip first: no new ring transitions (and thus no new
+	// repair goroutines on cs.wg) can start while we join.
+	cs.c.StopGossip()
+	cs.wg.Wait()
+}
+
+// onRingChange reacts to one atomic membership transition (fired
+// synchronously by the cluster layer, possibly from a gossip loop or
+// any request goroutine that merged a piggybacked delta):
+//
+//   - Leases held by a confirmed-dead thief are requeued immediately
+//     instead of waiting out the lease clock. Deleting the lease under
+//     cs.mu before emitting the transient CellDone keeps the event
+//     exactly-once: the janitor and a late steal-done report both miss
+//     the deleted entry.
+//
+//   - Anti-entropy repair runs in the background: every ring change
+//     moves some key ranges onto this node, so it batch-pulls the warm
+//     cache entries it now owns from the peers that held them. Results
+//     are immutable and content-addressed, which makes repair safe to
+//     run concurrently with anything.
+func (cs *clusterState) onRingChange(ev cluster.ChangeEvent) {
+	cs.s.log.Info("cluster: membership changed",
+		"version", ev.Version, "members", len(ev.Members),
+		"joined", ev.Joined, "dead", ev.Dead)
+	if len(ev.Dead) > 0 {
+		dead := make(map[string]bool, len(ev.Dead))
+		for _, d := range ev.Dead {
+			dead[d] = true
+		}
+		var requeue []*stolenLease
+		cs.mu.Lock()
+		for k, l := range cs.leases {
+			if dead[l.peer] {
+				delete(cs.leases, k)
+				requeue = append(requeue, l)
+			}
+		}
+		cs.mu.Unlock()
+		for _, l := range requeue {
+			cs.m.deadRequeued.Inc()
+			cs.s.log.Warn("cluster: thief confirmed dead; re-queueing stolen cell",
+				"sweep", l.t.SweepID, "cell", l.t.Index, "thief", l.peer)
+			cs.s.sweeps.CellDone(l.t, nil, "thief confirmed dead", true)
+		}
+	}
+	if cs.s.isDraining() || cs.s.baseCtx.Err() != nil {
+		return
+	}
+	cs.wg.Add(1)
+	go func() {
+		defer cs.wg.Done()
+		cs.repairOwned()
+	}()
+}
 
 // cellTimeout derives a ticket's execution deadline the same way
 // cellJob does.
@@ -387,6 +510,148 @@ func (cs *clusterState) prefetchSweep(ctx context.Context, spec sweep.Spec) {
 	}
 }
 
+// cachePullRequest asks a peer for the cache entries whose keys this
+// node now owns (POST /internal/cache/pull). After is a lexicographic
+// key cursor so the puller pages deterministically through the peer's
+// append-only cache; the response's Next, when set, is the cursor for
+// the following page.
+type cachePullRequest struct {
+	Owner string `json:"owner"`
+	After string `json:"after,omitempty"`
+	Max   int    `json:"max"`
+}
+
+type cachePullResponse struct {
+	Results map[string]JobResult `json:"results"`
+	Next    string               `json:"next,omitempty"`
+	// Member reports whether the serving node's ring contains the
+	// requester. False means the requester's (re)join has not reached
+	// this peer yet — nothing can match the ownership filter, so the
+	// puller should retry after the membership propagates rather than
+	// conclude there is nothing to repair.
+	Member bool `json:"member"`
+}
+
+// repairPageSize bounds one repair pull page.
+const repairPageSize = 256
+
+// repairOwned is the anti-entropy half of a ring transition: pull from
+// every healthy peer the warm cache entries whose keys this node now
+// owns. It is the ring-change analogue of the sweep-admission prefetch
+// — same storeResult path, same first-write-wins cache — except the
+// key set comes from the peer's cache scan instead of a sweep spec.
+// Best-effort: a failed pull only costs a future recompute or remote
+// fetch.
+func (cs *clusterState) repairOwned() {
+	for _, peer := range cs.c.Peers() {
+		if cs.s.baseCtx.Err() != nil {
+			return
+		}
+		if !cs.c.Healthy(peer) {
+			continue
+		}
+		cs.repairFrom(peer)
+	}
+}
+
+// repairFrom pages one peer's cache for the entries this node owns. A
+// rejoining node races its own membership propagation: until the peer
+// has resurrected us in its ring, the ownership filter matches nothing
+// and the pull answers member=false — so that answer is retried (the
+// gossip round-trip is a few probe intervals) instead of being read as
+// "nothing to repair".
+func (cs *clusterState) repairFrom(peer string) {
+	const (
+		notMemberRetries = 40
+		notMemberWait    = 250 * time.Millisecond
+	)
+	for attempt := 0; attempt < notMemberRetries; attempt++ {
+		after := ""
+		for {
+			if cs.s.baseCtx.Err() != nil || cs.s.isDraining() {
+				return
+			}
+			body, err := json.Marshal(cachePullRequest{Owner: cs.c.Self(), After: after, Max: repairPageSize})
+			if err != nil {
+				return
+			}
+			code, resp, err := cs.c.Do(cs.s.baseCtx, peer, http.MethodPost, "/internal/cache/pull", body)
+			if err != nil || code != http.StatusOK {
+				return // peer down or refusing: best-effort, give up
+			}
+			var out cachePullResponse
+			if err := json.Unmarshal(resp, &out); err != nil {
+				return
+			}
+			if !out.Member {
+				break // peer does not count us a member yet: retry below
+			}
+			for key, res := range out.Results {
+				if _, ok := cs.s.cache.get(key); ok {
+					continue
+				}
+				cs.storeResult(key, res)
+				cs.m.repairPulled.Inc()
+			}
+			if out.Next == "" {
+				return // full scan served
+			}
+			after = out.Next
+		}
+		select {
+		case <-cs.s.baseCtx.Done():
+			return
+		case <-time.After(notMemberWait):
+		}
+	}
+}
+
+// handleCachePull serves a repair scan: every cached key after the
+// cursor that the requester currently owns, up to Max entries. The
+// ownership check uses this node's own ring — during convergence the
+// two nodes may briefly disagree, which at worst transfers an entry
+// the requester did not strictly need; the cache is content-addressed,
+// so a superfluous copy is harmless.
+func (cs *clusterState) handleCachePull(w http.ResponseWriter, r *http.Request) {
+	var req cachePullRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad pull request: " + err.Error()})
+		return
+	}
+	owner := cluster.NormalizePeer(req.Owner)
+	if owner == "" || req.Max <= 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "pull request needs owner and max"})
+		return
+	}
+	out := cachePullResponse{Results: make(map[string]JobResult), Member: cs.c.Contains(owner)}
+	if !out.Member {
+		// Not in our ring (yet): the ownership filter below can never
+		// match, so skip the scan and let the puller retry after the
+		// membership propagates.
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	for _, key := range cs.s.cache.keysSorted() {
+		if key <= req.After {
+			continue
+		}
+		if len(out.Results) >= req.Max {
+			out.Next = req.After // resume after the last key we returned
+			break
+		}
+		if cs.c.Owner(key) != owner {
+			continue
+		}
+		if res, ok := cs.s.cache.get(key); ok {
+			out.Results[key] = res
+			cs.m.cacheServed.Inc()
+			req.After = key
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // writeBack pushes a locally computed result to its owning peer,
 // asynchronously and best-effort: the local copy already serves local
 // traffic, the owner copy makes the key findable cluster-wide.
@@ -429,10 +694,7 @@ func (cs *clusterState) tryRemote(t sweep.Ticket) bool {
 	if cs.c.IsSelf(owner) || !cs.c.Healthy(owner) {
 		return false
 	}
-	ps := cs.peerSem[owner]
-	if ps == nil {
-		return false
-	}
+	ps := cs.peerSlot(owner)
 	select {
 	case cs.sem <- struct{}{}:
 	default:
@@ -606,6 +868,11 @@ type stolenCellWire struct {
 
 type stealRequest struct {
 	Max int `json:"max"`
+	// Thief is the thief's advertised URL. The victim records it on the
+	// lease so a ring transition that confirms the thief dead can match
+	// and requeue its leases immediately (RemoteAddr is an ephemeral
+	// client port, useless for that comparison).
+	Thief string `json:"thief,omitempty"`
 }
 
 type stealResponse struct {
@@ -622,29 +889,80 @@ type stealDoneRequest struct {
 	Error  string          `json:"error,omitempty"`
 }
 
+// stealBackoffCap bounds the exponential steal backoff (as a multiple
+// of the base interval): an idle cluster polls lazily, but a fresh
+// burst of work is never more than this far from being noticed.
+const stealBackoffCap = 32
+
+// stealDelay computes the next steal poll delay: the base interval
+// after a successful steal, doubling per consecutive miss (victim had
+// no spare work, or no healthy victim at all) up to stealBackoffCap×
+// base, with ±25% jitter so a fleet of idle thieves does not hammer
+// the one busy victim in lockstep.
+func (cs *clusterState) stealDelay(misses int) time.Duration {
+	d := cs.stealEvery
+	if misses > 0 {
+		shift := misses
+		if shift > 10 {
+			shift = 10
+		}
+		mult := int64(1) << shift
+		if mult > stealBackoffCap {
+			mult = stealBackoffCap
+		}
+		d = cs.stealEvery * time.Duration(mult)
+	}
+	cs.mu.Lock()
+	jitter := cs.stealRng.Float64()
+	cs.mu.Unlock()
+	// jitter in [0.75, 1.25)
+	d = time.Duration(float64(d) * (0.75 + jitter/2))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
 // stealLoop is the thief side: when this node is fully idle (no queued
 // jobs, no dispatchable sweep work, free workers) it asks peers — round
 // robin — for queued cells and executes them locally through the normal
-// job path.
+// job path. Polling backs off exponentially (with jitter) while
+// victims have nothing to give and snaps back to the base interval on
+// the first successful steal.
 func (cs *clusterState) stealLoop() {
-	ticker := time.NewTicker(cs.stealEvery)
-	defer ticker.Stop()
+	misses := 0
+	timer := time.NewTimer(cs.stealDelay(0))
+	defer timer.Stop()
 	for {
 		select {
 		case <-cs.s.baseCtx.Done():
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
-		if cs.s.isDraining() || !cs.idle() {
+		if cs.s.isDraining() {
+			return
+		}
+		if !cs.idle() {
+			// Busy with our own work: not a miss (there is nothing to
+			// learn about the victims), poll again at the base cadence.
+			misses = 0
+			timer.Reset(cs.stealDelay(0))
 			continue
 		}
+		var cells []stolenCellWire
 		peer, ok := cs.nextPeer()
-		if !ok {
+		if ok {
+			cells = cs.stealFrom(peer, cs.s.cfg.Workers)
+		}
+		if len(cells) == 0 {
+			// No healthy victim, or the victim had no spare work: back off.
+			misses++
+			timer.Reset(cs.stealDelay(misses))
 			continue
 		}
-		cells := cs.stealFrom(peer, cs.s.cfg.Workers)
+		misses = 0
 		// Run the batch concurrently — the node is idle, so the whole
-		// pool's width is available — but join it before the next tick
+		// pool's width is available — but join it before the next poll
 		// so the idle() check stays honest.
 		var batch sync.WaitGroup
 		for _, sc := range cells {
@@ -658,6 +976,7 @@ func (cs *clusterState) stealLoop() {
 		if cs.s.isDraining() {
 			return
 		}
+		timer.Reset(cs.stealDelay(0))
 	}
 }
 
@@ -696,7 +1015,7 @@ func (cs *clusterState) nextPeer() (string, bool) {
 
 // stealFrom asks one victim for up to max queued cells.
 func (cs *clusterState) stealFrom(peer string, max int) []stolenCellWire {
-	body, err := json.Marshal(stealRequest{Max: max})
+	body, err := json.Marshal(stealRequest{Max: max, Thief: cs.c.Self()})
 	if err != nil {
 		return nil
 	}
@@ -788,12 +1107,30 @@ func (cs *clusterState) janitorLoop() {
 // Internal HTTP endpoints (peer-to-peer protocol)
 // ---------------------------------------------------------------------
 
+// gossipExchange is the piggyback middleware wrapped around the whole
+// HTTP surface when gossip is enabled: incoming requests may carry
+// membership deltas from peers or cluster-aware clients, and every
+// response carries this node's current digest plus queued deltas. This
+// is what makes membership converge between probe ticks — ordinary
+// traffic is the widest gossip channel the cluster has.
+func (cs *clusterState) gossipExchange(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cs.c.ApplyGossipHeader(r.Header.Get(cluster.HeaderGossip))
+		if g := cs.c.GossipHeaderValue(); g != "" {
+			w.Header().Set(cluster.HeaderGossip, g)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
 func (cs *clusterState) registerHandlers(mux *http.ServeMux) {
 	mux.HandleFunc("GET /internal/cache/{key}", cs.handleCacheGet)
 	mux.HandleFunc("PUT /internal/cache/{key}", cs.handleCachePut)
 	mux.HandleFunc("POST /internal/cache/lookup", cs.handleCacheLookup)
+	mux.HandleFunc("POST /internal/cache/pull", cs.handleCachePull)
 	mux.HandleFunc("POST /internal/steal", cs.handleSteal)
 	mux.HandleFunc("POST /internal/steal/done", cs.handleStealDone)
+	cs.c.RegisterGossipHandlers(mux)
 }
 
 func (cs *clusterState) handleCacheGet(w http.ResponseWriter, r *http.Request) {
@@ -858,7 +1195,10 @@ func (cs *clusterState) handleSteal(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, out)
 		return
 	}
-	thief := r.RemoteAddr
+	thief := cluster.NormalizePeer(req.Thief)
+	if thief == "" {
+		thief = r.RemoteAddr // pre-gossip thieves; lease still expires on the clock
+	}
 	for len(out.Cells) < req.Max {
 		t, ok := cs.s.sweeps.TryDequeue()
 		if !ok {
@@ -915,10 +1255,21 @@ func (cs *clusterState) handleStealDone(w http.ResponseWriter, r *http.Request) 
 
 // clusterStats snapshots the cluster block of /v1/stats.
 func (cs *clusterState) stats() *ClusterStats {
+	suspects, refutes, confirms := cs.c.GossipCounts()
 	return &ClusterStats{
 		Self:              cs.c.Self(),
 		Peers:             cs.c.Peers(),
 		Unhealthy:         cs.c.UnhealthyPeers(),
+		GossipEnabled:     cs.c.GossipEnabled(),
+		Members:           cs.c.Members(),
+		MembershipVersion: cs.c.MembershipVersion(),
+		RingHash:          cs.c.RingHash(),
+		SelfIncarnation:   cs.c.SelfIncarnation(),
+		Suspicions:        suspects,
+		Refutes:           refutes,
+		ConfirmedDead:     confirms,
+		RepairPulled:      cs.m.repairPulled.Value(),
+		DeadRequeued:      cs.m.deadRequeued.Value(),
 		Proxied:           cs.m.proxied.Value(),
 		ProxyErrors:       cs.m.proxyErrors.Value(),
 		DegradedLocal:     cs.m.degraded.Value(),

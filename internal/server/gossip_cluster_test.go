@@ -1,0 +1,642 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"micromama/internal/cluster"
+	"micromama/internal/sweep"
+)
+
+// testGossipOptions are aggressive SWIM timings for in-process tests:
+// fast probes so kill/rejoin converges in tens of milliseconds, with a
+// suspect timeout loose enough that -race scheduling jitter cannot
+// spuriously confirm a live node dead.
+func testGossipOptions(seeds []string) cluster.GossipOptions {
+	return cluster.GossipOptions{
+		Interval:       10 * time.Millisecond,
+		SuspectTimeout: 150 * time.Millisecond,
+		SyncInterval:   40 * time.Millisecond,
+		Seeds:          seeds,
+	}
+}
+
+// startGossipNode boots one gossip-enabled cluster node on a
+// pre-bound listener. urls is the bootstrap membership (also the
+// gossip seed list); mut customizes the server Config.
+func startGossipNode(t *testing.T, self string, urls []string, ln net.Listener,
+	opts cluster.GossipOptions, mut func(cfg *Config)) *clusterNode {
+	t.Helper()
+	cl, err := cluster.New(self, urls, cluster.Options{
+		FailureThreshold: 2,
+		Cooldown:         250 * time.Millisecond,
+		RPCTimeout:       5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.EnableGossip(opts)
+	cfg := Config{
+		Workers:            2,
+		QueueDepth:         64,
+		Cluster:            cl,
+		RemotePollInterval: 5 * time.Millisecond,
+		StealInterval:      -1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Listener = ln
+	ts.Start()
+	n := &clusterNode{srv: srv, ts: ts, url: self}
+	t.Cleanup(n.kill)
+	return n
+}
+
+// startGossipCluster boots n gossip-enabled nodes sharing one
+// bootstrap list.
+func startGossipCluster(t *testing.T, n int, mut func(i int, cfg *Config)) []*clusterNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		i := i
+		nodes[i] = startGossipNode(t, urls[i], urls, lns[i], testGossipOptions(urls),
+			func(cfg *Config) {
+				if mut != nil {
+					mut(i, cfg)
+				}
+			})
+	}
+	return nodes
+}
+
+// relisten rebinds a specific address, retrying briefly: the previous
+// listener's close may not have fully released the port yet.
+func relisten(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// seedsOwnedBy hunts count distinct fake-job seeds whose keys land on
+// the wanted node.
+func seedsOwnedBy(t *testing.T, n *clusterNode, want string, count int) []uint64 {
+	t.Helper()
+	var out []uint64
+	for seed := uint64(1); seed < 1<<16 && len(out) < count; seed++ {
+		spec := JobSpec{Mix: []string{"spec06.libquantum"}, Controller: "no", Scale: "tiny", Seed: seed}
+		p, err := n.srv.resolve(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.srv.cl.c.Owner(p.key) == want {
+			out = append(out, seed)
+		}
+	}
+	if len(out) < count {
+		t.Fatalf("found only %d of %d seeds owned by %s", len(out), count, want)
+	}
+	return out
+}
+
+// waitMembership polls until every listed node's ring has the wanted
+// size and all ring-hash fingerprints agree.
+func waitMembership(t *testing.T, nodes []*clusterNode, size int, timeout time.Duration, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		agreed := true
+		var hash uint64
+		for i, n := range nodes {
+			c := n.srv.cl.c
+			if c.Size() != size {
+				agreed = false
+				break
+			}
+			if i == 0 {
+				hash = c.RingHash()
+			} else if c.RingHash() != hash {
+				agreed = false
+				break
+			}
+		}
+		if agreed {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, n := range nodes {
+				c := n.srv.cl.c
+				t.Logf("node %s: size=%d hash=%d members=%v", n.url, c.Size(), c.RingHash(), c.Members())
+			}
+			t.Fatalf("%s: rings did not converge to size %d within %v", msg, size, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGossipKillRejoinRepair is the gossip acceptance test, end to end
+// under -race:
+//
+//  1. a 3-node gossip cluster computes a sweep exactly once;
+//  2. one node is killed: the survivors' SWIM detectors confirm it
+//     dead, both rebuild the same 2-node ring, and anti-entropy repair
+//     re-homes the dead node's key range so an identical sweep against
+//     a survivor completes with zero lost cells, zero double-runs, and
+//     zero new simulations;
+//  3. the node restarts with its original flags: it rejoins via
+//     gossip alone (learning its own tombstone and refuting it with a
+//     bumped incarnation), all three rings re-agree, and boot-time
+//     repair restores its previously-warm entries so a key it owns is
+//     an immediate local cache hit — still bit-identical to the
+//     original run.
+func TestGossipKillRejoinRepair(t *testing.T) {
+	const perOwner = 3
+	var sims [4]atomic.Int64 // a, b, c, restarted b
+	total := func() int64 {
+		var n int64
+		for i := range sims {
+			n += sims[i].Load()
+		}
+		return n
+	}
+
+	lns := make([]net.Listener, 3)
+	urls := make([]string, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*clusterNode, 3)
+	for i := range nodes {
+		i := i
+		nodes[i] = startGossipNode(t, urls[i], urls, lns[i], testGossipOptions(urls),
+			func(cfg *Config) {
+				cfg.Run = pureRun(&sims[i], 0)
+				cfg.RemotePeerSlots = 2 * 3 * perOwner // eager remote dispatch
+			})
+	}
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	// Build the sweep from seeds with known owners so node B is
+	// guaranteed a share of the key range.
+	var specs []JobSpec
+	for _, n := range nodes {
+		for _, seed := range seedsOwnedBy(t, a, n.url, perOwner) {
+			specs = append(specs, JobSpec{Mix: []string{"spec06.libquantum"}, Controller: "no", Scale: "tiny", Seed: seed})
+		}
+	}
+	cells := len(specs)
+	keyOf := make(map[uint64]string, cells) // seed -> cache key
+	for _, spec := range specs {
+		p, err := a.srv.resolve(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keyOf[spec.Seed] = p.key
+	}
+	sweepJSON := func(name string) string {
+		body, _ := json.Marshal(struct {
+			Name  string    `json:"name"`
+			Cells []JobSpec `json:"cells"`
+		}{Name: name, Cells: specs})
+		return string(body)
+	}
+
+	// Phase 1: cold sweep, every cell exactly once across the cluster.
+	resp, view := postSweep(t, a.ts, sweepJSON("gossip-cold"))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("cold sweep: HTTP %d", resp.StatusCode)
+	}
+	if done := waitSweepDone(t, a.ts, view.ID, 60*time.Second); done.Failed != 0 {
+		t.Fatalf("cold sweep failed %d cells", done.Failed)
+	}
+	if got := total(); got != int64(cells) {
+		t.Fatalf("cold sweep ran %d simulations, want exactly %d", got, cells)
+	}
+	// Golden results: keyed by seed, normalized for bit-identity.
+	golden := make(map[uint64]string, cells)
+	for _, spec := range specs {
+		res, ok := a.srv.cache.get(keyOf[spec.Seed])
+		if !ok {
+			t.Fatalf("cold sweep receiver missing result for seed %d", spec.Seed)
+		}
+		raw, _ := json.Marshal(res)
+		golden[spec.Seed] = normalizeResult(t, raw)
+	}
+
+	// Phase 2: kill B. The survivors must agree on a B-less ring.
+	b.kill()
+	survivors := []*clusterNode{a, c}
+	waitMembership(t, survivors, 2, 10*time.Second, "after kill")
+	for _, n := range survivors {
+		if n.srv.cl.c.Contains(b.url) {
+			t.Fatalf("survivor %s still has dead node %s in its ring", n.url, b.url)
+		}
+		if _, _, confirms := n.srv.cl.c.GossipCounts(); confirms == 0 {
+			t.Errorf("survivor %s confirmed no peer dead", n.url)
+		}
+	}
+
+	// Anti-entropy repair re-homes B's key range: wait until every key
+	// is cached on its new owner.
+	repairDeadline := time.Now().Add(10 * time.Second)
+	for {
+		missing := 0
+		for _, spec := range specs {
+			key := keyOf[spec.Seed]
+			owner := a.srv.cl.c.Owner(key)
+			for _, n := range survivors {
+				if n.url == owner {
+					if _, ok := n.srv.cache.get(key); !ok {
+						missing++
+					}
+				}
+			}
+		}
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(repairDeadline) {
+			t.Fatalf("%d keys never repaired onto their new owners", missing)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Warm resubmission against the other survivor: zero lost, zero
+	// double-run, zero new simulations.
+	resp2, view2 := postSweep(t, c.ts, sweepJSON("gossip-warm"))
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("warm sweep: HTTP %d", resp2.StatusCode)
+	}
+	warm := waitSweepDone(t, c.ts, view2.ID, 60*time.Second)
+	if warm.Failed != 0 || warm.Done+warm.Deduped != cells {
+		t.Fatalf("warm sweep: done=%d deduped=%d failed=%d, want %d total / 0 failed",
+			warm.Done, warm.Deduped, warm.Failed, cells)
+	}
+	if got := total(); got != int64(cells) {
+		t.Errorf("warm sweep after node death ran %d extra simulations, want 0", got-int64(cells))
+	}
+	events, _ := readSweepEvents(t, c.ts, view2.ID, "")
+	seen := make(map[int]int)
+	for _, ev := range events {
+		seen[ev.Cell]++
+	}
+	if len(seen) != cells {
+		t.Errorf("warm sweep events cover %d cells, want %d", len(seen), cells)
+	}
+	for cell, n := range seen {
+		if n != 1 {
+			t.Errorf("warm sweep cell %d has %d terminal events, want exactly 1", cell, n)
+		}
+	}
+
+	// Phase 3: restart B on the same address with the same bootstrap
+	// flags. It must rejoin through gossip alone.
+	addr := strings.TrimPrefix(b.url, "http://")
+	b2 := startGossipNode(t, b.url, urls, relisten(t, addr), testGossipOptions(urls),
+		func(cfg *Config) {
+			cfg.Run = pureRun(&sims[3], 0)
+			cfg.RemotePeerSlots = 2 * 3 * perOwner
+		})
+	all := []*clusterNode{a, b2, c}
+	waitMembership(t, all, 3, 10*time.Second, "after rejoin")
+	if inc := b2.srv.cl.c.SelfIncarnation(); inc == 0 {
+		t.Error("rejoined node did not bump its incarnation (no refutation happened)")
+	}
+
+	// Boot-time repair restores B's previously-warm share of the cache.
+	bKeys := 0
+	bootDeadline := time.Now().Add(10 * time.Second)
+	for {
+		missing := 0
+		bKeys = 0
+		for _, spec := range specs {
+			key := keyOf[spec.Seed]
+			if b2.srv.cl.c.Owner(key) != b.url {
+				continue
+			}
+			bKeys++
+			if _, ok := b2.srv.cache.get(key); !ok {
+				missing++
+			}
+		}
+		if bKeys > 0 && missing == 0 {
+			break
+		}
+		if time.Now().After(bootDeadline) {
+			t.Fatalf("rejoined node still missing %d of its %d owned keys", missing, bKeys)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, bcl := clusterStats(t, b2)
+	if bcl.RepairPulled == 0 {
+		t.Error("rejoined node recorded no repair pulls")
+	}
+	if bcl.SelfIncarnation == 0 || !bcl.GossipEnabled {
+		t.Errorf("rejoined node stats: gossip_enabled=%v self_incarnation=%d",
+			bcl.GossipEnabled, bcl.SelfIncarnation)
+	}
+
+	// A previously-warm, B-owned spec is an immediate cache hit on the
+	// rejoined node — and bit-identical to the original run.
+	var warmSpec JobSpec
+	for _, spec := range specs {
+		if b2.srv.cl.c.Owner(keyOf[spec.Seed]) == b.url {
+			warmSpec = spec
+			break
+		}
+	}
+	body, _ := json.Marshal(warmSpec)
+	req, _ := http.NewRequest(http.MethodPost, b2.ts.URL+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HeaderForwarded, "1") // handle locally: the hit must come from B's own cache
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("warm submit on rejoined node: HTTP %d, want 200 (cache hit)", hresp.StatusCode)
+	}
+	var hview JobView
+	if err := json.NewDecoder(hresp.Body).Decode(&hview); err != nil {
+		t.Fatal(err)
+	}
+	if !hview.Cached {
+		t.Error("warm submit on rejoined node was not served from cache")
+	}
+	if sims[3].Load() != 0 {
+		t.Errorf("rejoined node ran %d simulations, want 0 (repair made it warm)", sims[3].Load())
+	}
+	for _, spec := range specs {
+		key := keyOf[spec.Seed]
+		if b2.srv.cl.c.Owner(key) != b.url {
+			continue
+		}
+		res, ok := b2.srv.cache.get(key)
+		if !ok {
+			t.Fatalf("repaired key for seed %d vanished", spec.Seed)
+		}
+		raw, _ := json.Marshal(res)
+		if got := normalizeResult(t, raw); got != golden[spec.Seed] {
+			t.Errorf("repaired result for seed %d differs from original:\noriginal: %s\nrepaired: %s",
+				spec.Seed, golden[spec.Seed], got)
+		}
+	}
+}
+
+// TestStealBackoffSchedule pins the thief's poll cadence: base interval
+// after success, doubling per consecutive miss up to the cap, always
+// inside the ±25% jitter window, and never below 1ms.
+func TestStealBackoffSchedule(t *testing.T) {
+	const base = 80 * time.Millisecond
+	nodes := startCluster(t, 2, func(i int, cfg *Config) {
+		cfg.StealInterval = base
+	})
+	cs := nodes[0].srv.cl
+
+	cases := []struct {
+		misses int
+		mult   int64
+	}{
+		{0, 1}, {1, 2}, {2, 4}, {3, 8}, {4, 16},
+		{5, 32}, {6, 32}, {10, 32}, {100, 32}, // capped at stealBackoffCap
+	}
+	for _, tc := range cases {
+		lo := time.Duration(float64(base) * float64(tc.mult) * 0.75)
+		hi := time.Duration(float64(base) * float64(tc.mult) * 1.25)
+		for i := 0; i < 64; i++ {
+			d := cs.stealDelay(tc.misses)
+			if d < lo || d >= hi {
+				t.Fatalf("stealDelay(%d) = %v, want in [%v, %v)", tc.misses, d, lo, hi)
+			}
+		}
+	}
+
+	// The jitter must actually vary, or a fleet of thieves stays in
+	// lockstep.
+	distinct := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		distinct[cs.stealDelay(0)] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("stealDelay returned a constant; jitter is not applied")
+	}
+}
+
+// TestPrefetchSkipsOpenBreaker: sweep-admission batch prefetch must
+// not send cache lookups to a peer whose breaker is open, and must
+// resume once the cooldown admits a probe.
+func TestPrefetchSkipsOpenBreaker(t *testing.T) {
+	var sims [2]atomic.Int64
+	nodes := startCluster(t, 2, func(i int, cfg *Config) {
+		cfg.Run = pureRun(&sims[i], 0)
+	})
+	a, b := nodes[0], nodes[1]
+
+	spec := specOwnedBy(t, a, b.url)
+	sp := sweep.Spec{Name: "prefetch-breaker", Cells: []sweep.Cell{{
+		Mix: spec.Mix, Controller: spec.Controller, Scale: spec.Scale, Seed: spec.Seed,
+	}}}
+
+	// Trip B's breaker (threshold 2 in startCluster).
+	a.srv.cl.c.ReportFailure(b.url)
+	a.srv.cl.c.ReportFailure(b.url)
+	if a.srv.cl.c.Healthy(b.url) {
+		t.Fatal("breaker did not open")
+	}
+	a.srv.cl.prefetchSweep(context.Background(), sp)
+	if _, acl := clusterStats(t, a); acl.RemoteCacheHits != 0 || acl.RemoteCacheMisses != 0 {
+		t.Fatalf("prefetch reached a breaker-open peer: hits=%d misses=%d",
+			acl.RemoteCacheHits, acl.RemoteCacheMisses)
+	}
+
+	// After the cooldown the half-open breaker admits the lookup; B is
+	// cold, so the probe lands as a recorded miss and (being an HTTP
+	// answer) closes the breaker.
+	time.Sleep(300 * time.Millisecond)
+	a.srv.cl.prefetchSweep(context.Background(), sp)
+	if _, acl := clusterStats(t, a); acl.RemoteCacheMisses == 0 {
+		t.Error("prefetch after cooldown never reached the peer")
+	}
+	if !a.srv.cl.c.Healthy(b.url) {
+		t.Error("successful lookup did not close the breaker")
+	}
+}
+
+// TestGossipFlapChaos runs a cluster whose gossip ping handlers answer
+// 503 (a flapping peer, injected): every probe fails, so suspicion
+// churns constantly — but refutations ride the unaffected sync path,
+// so nobody is ever confirmed dead, the ring stays full, and a sweep
+// still completes every cell exactly once.
+func TestGossipFlapChaos(t *testing.T) {
+	enableFault(t, "cluster/gossip/flap", "always")
+	const cells = 4
+	var sims [3]atomic.Int64
+	lns := make([]net.Listener, 3)
+	urls := make([]string, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	opts := cluster.GossipOptions{
+		Interval:       10 * time.Millisecond,
+		SuspectTimeout: 30 * time.Second, // refutes must always win under -race load
+		SyncInterval:   20 * time.Millisecond,
+		Seeds:          urls,
+	}
+	nodes := make([]*clusterNode, 3)
+	for i := range nodes {
+		i := i
+		nodes[i] = startGossipNode(t, urls[i], urls, lns[i], opts, func(cfg *Config) {
+			cfg.Run = pureRun(&sims[i], 0)
+		})
+	}
+
+	// Suspicion and refutation counters must both move: probes fail,
+	// the suspects hear about it over sync and refute.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var suspects, refutes uint64
+		for _, n := range nodes {
+			s, r, _ := n.srv.cl.c.GossipCounts()
+			suspects += s
+			refutes += r
+		}
+		if suspects > 0 && refutes > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flapping cluster never churned: suspects=%d refutes=%d", suspects, refutes)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, n := range nodes {
+		if n.srv.cl.c.Size() != 3 {
+			t.Errorf("node %s ring shrank to %d under flapping probes", n.url, n.srv.cl.c.Size())
+		}
+	}
+
+	// Service is unimpaired: a sweep completes, every cell exactly once.
+	resp, view := postSweep(t, nodes[0].ts, sweepGridJSON("flap", cells))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("sweep under flap: HTTP %d", resp.StatusCode)
+	}
+	done := waitSweepDone(t, nodes[0].ts, view.ID, 30*time.Second)
+	if done.Failed != 0 || done.Done+done.Deduped != cells {
+		t.Fatalf("sweep under flap: done=%d deduped=%d failed=%d", done.Done, done.Deduped, done.Failed)
+	}
+	var total int64
+	for i := range sims {
+		total += sims[i].Load()
+	}
+	if total != cells {
+		t.Errorf("sweep under flap ran %d simulations, want exactly %d", total, cells)
+	}
+}
+
+// TestGossipPartitionChaos cuts every outbound gossip path: with no
+// probes, relays, or syncs leaving any node, each one suspects and
+// then confirms the whole peer set dead, degrading to a singleton ring
+// — and keeps serving local work.
+func TestGossipPartitionChaos(t *testing.T) {
+	enableFault(t, "cluster/gossip/partition", "always")
+	var sims [3]atomic.Int64
+	lns := make([]net.Listener, 3)
+	urls := make([]string, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	opts := cluster.GossipOptions{
+		Interval:       10 * time.Millisecond,
+		SuspectTimeout: 100 * time.Millisecond,
+		SyncInterval:   30 * time.Millisecond,
+		Seeds:          urls,
+	}
+	nodes := make([]*clusterNode, 3)
+	for i := range nodes {
+		i := i
+		nodes[i] = startGossipNode(t, urls[i], urls, lns[i], opts, func(cfg *Config) {
+			cfg.Run = pureRun(&sims[i], 0)
+		})
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		singletons := 0
+		for _, n := range nodes {
+			if n.srv.cl.c.Size() == 1 {
+				singletons++
+			}
+		}
+		if singletons == len(nodes) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d nodes degraded to singleton rings", singletons, len(nodes))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, n := range nodes {
+		if _, _, confirms := n.srv.cl.c.GossipCounts(); confirms < 2 {
+			t.Errorf("node %s confirmed %d peers dead, want 2", n.url, confirms)
+		}
+	}
+
+	// A singleton node owns every key: submissions complete locally.
+	resp, view := postJob(t, nodes[0].ts, fakeSpec(7))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit under gossip partition: HTTP %d", resp.StatusCode)
+	}
+	if body := waitDone(t, nodes[0].ts, view.ID, 10*time.Second); body.Status != StatusDone {
+		t.Fatalf("job under gossip partition finished as %q: %s", body.Status, body.Error)
+	}
+	if sims[0].Load() != 1 {
+		t.Errorf("receiving node ran %d simulations, want 1 (local compute)", sims[0].Load())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"micromama/internal/cluster"
 	"micromama/internal/experiment"
 	"micromama/internal/sweep"
 	"micromama/internal/workload"
@@ -191,6 +192,19 @@ type ClusterStats struct {
 	Self      string   `json:"self"`
 	Peers     []string `json:"peers"`
 	Unhealthy []string `json:"unhealthy,omitempty"` // peers with open breakers
+
+	// Gossip membership (see internal/cluster/gossip.go). RingHash is
+	// identical on every converged node; MembershipVersion is node-local.
+	GossipEnabled     bool                 `json:"gossip_enabled"`
+	Members           []cluster.MemberInfo `json:"members,omitempty"`
+	MembershipVersion uint64               `json:"membership_version"`
+	RingHash          uint64               `json:"ring_hash"`
+	SelfIncarnation   uint64               `json:"self_incarnation"`
+	Suspicions        uint64               `json:"suspicions"`
+	Refutes           uint64               `json:"refutes"`
+	ConfirmedDead     uint64               `json:"confirmed_dead"`
+	RepairPulled      uint64               `json:"repair_pulled"`
+	DeadRequeued      uint64               `json:"dead_requeued"`
 
 	Proxied           uint64 `json:"proxied"`             // requests forwarded to owners
 	ProxyErrors       uint64 `json:"proxy_errors"`        // forwards that failed in transport

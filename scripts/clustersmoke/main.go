@@ -1,12 +1,18 @@
 // Command clustersmoke is the `make cluster-smoke` gate: a three-node
-// sharded mamaserved cluster driven end to end with real tiny
-// simulations. A cold sweep submitted to node A is routed across the
-// ring (every cell simulated exactly once cluster-wide), then the same
-// cells are resubmitted under a new sweep name to node C — the warm
-// pass must complete with zero new simulations anywhere, served by
-// cross-shard cache fetches from the owning nodes. It exercises the
-// whole cluster surface (ring routing, remote execution, distributed
-// cache lookup) in-process in a few seconds.
+// sharded mamaserved cluster (gossip membership enabled) driven end to
+// end with real tiny simulations. A cold sweep submitted to node A is
+// routed across the ring (every cell simulated exactly once
+// cluster-wide), then the same cells are resubmitted under a new sweep
+// name to node C — the warm pass must complete with zero new
+// simulations anywhere, served by cross-shard cache fetches from the
+// owning nodes. A final churn phase kills node B mid-sweep (the SWIM
+// detector must confirm it dead and the sweep must still finish every
+// cell exactly once), then restarts it and asserts it rejoins by
+// gossip alone — bumped incarnation, repaired cache — until a warm
+// resubmission against the rejoined node costs zero new simulations.
+// It exercises the whole cluster surface (ring routing, remote
+// execution, distributed cache lookup, failure detection, anti-entropy
+// repair) in-process in a few seconds.
 package main
 
 import (
@@ -27,16 +33,29 @@ import (
 // spec expands to an eight-cell tiny-scale sweep (two mixes × two
 // controllers × two seeds) with a small instruction target so real
 // simulations stay fast while still spreading keys across all shards.
-func spec(name string) sweep.Spec {
+func spec(name string, seeds ...uint64) sweep.Spec {
 	return sweep.Spec{
 		Name: name,
 		Grid: &sweep.Grid{
 			Mixes:       [][]string{{"spec06.libquantum"}, {"spec06.sphinx3"}},
 			Controllers: []string{"no", "bandit"},
-			Seeds:       []uint64{1, 2},
+			Seeds:       seeds,
 			Scales:      []string{"tiny"},
 			Target:      60_000,
 		},
+	}
+}
+
+// gossipOpts are the fast-but-CI-safe SWIM timings the smoke cluster
+// runs with: quick enough that confirm-dead lands in well under a
+// second, slow enough that a loaded runner never false-positives a
+// live node.
+func gossipOpts(urls []string) cluster.GossipOptions {
+	return cluster.GossipOptions{
+		Interval:       25 * time.Millisecond,
+		SuspectTimeout: 300 * time.Millisecond,
+		SyncInterval:   100 * time.Millisecond,
+		Seeds:          urls,
 	}
 }
 
@@ -47,57 +66,91 @@ type node struct {
 	c   *client.Client
 }
 
+// startNode builds one gossip-enabled cluster member on an
+// already-bound listener. The same constructor serves initial boot and
+// the churn-phase restart, so a restarted node differs only by what
+// gossip teaches it (its own tombstone, hence the incarnation bump).
+func startNode(ln net.Listener, self string, urls []string) (*node, error) {
+	cl, err := cluster.New(self, urls, cluster.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: %w", self, err)
+	}
+	cl.EnableGossip(gossipOpts(urls))
+	srv, err := server.New(server.Config{
+		Workers:    2,
+		QueueDepth: 64,
+		Cluster:    cl,
+		// Eager owner dispatch: every cell runs on the node owning
+		// its key, so the warm pass finds each result exactly where
+		// the ring says it lives (no async write-back to wait on).
+		RemotePeerSlots:    32,
+		RemotePollInterval: 5 * time.Millisecond,
+		StealInterval:      -1, // stealing off: determinism over latency here
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server %s: %w", self, err)
+	}
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	return &node{srv: srv, ts: ts, url: self,
+		c: client.New(self, client.Options{Timeout: 2 * time.Minute})}, nil
+}
+
 // startCluster binds n loopback listeners first so every node knows the
-// full peer list before any server starts — the same ring on every
-// node, no discovery protocol.
-func startCluster(n int) ([]*node, error) {
+// full bootstrap peer list before any server starts; from there on
+// membership is maintained by gossip, not the static list.
+func startCluster(n int) ([]*node, []string, error) {
 	lns := make([]net.Listener, n)
 	urls := make([]string, n)
 	for i := range lns {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return nil, fmt.Errorf("listen: %w", err)
+			return nil, nil, fmt.Errorf("listen: %w", err)
 		}
 		lns[i] = ln
 		urls[i] = "http://" + ln.Addr().String()
 	}
 	nodes := make([]*node, n)
 	for i := range nodes {
-		cl, err := cluster.New(urls[i], urls, cluster.Options{})
+		nd, err := startNode(lns[i], urls[i], urls)
 		if err != nil {
-			return nil, fmt.Errorf("cluster node %d: %w", i, err)
+			return nil, nil, err
 		}
-		srv, err := server.New(server.Config{
-			Workers:    2,
-			QueueDepth: 64,
-			Cluster:    cl,
-			// Eager owner dispatch: every cell runs on the node owning
-			// its key, so the warm pass finds each result exactly where
-			// the ring says it lives (no async write-back to wait on).
-			RemotePeerSlots:    32,
-			RemotePollInterval: 5 * time.Millisecond,
-			StealInterval:      -1, // stealing off: determinism over latency here
-		})
-		if err != nil {
-			return nil, fmt.Errorf("server node %d: %w", i, err)
-		}
-		ts := httptest.NewUnstartedServer(srv.Handler())
-		ts.Listener.Close()
-		ts.Listener = lns[i]
-		ts.Start()
-		nodes[i] = &node{srv: srv, ts: ts, url: urls[i],
-			c: client.New(urls[i], client.Options{Timeout: 2 * time.Minute})}
+		nodes[i] = nd
 	}
-	return nodes, nil
+	return nodes, urls, nil
+}
+
+// relisten rebinds a specific loopback address the kernel may still
+// hold in TIME_WAIT for a moment after the old listener closed.
+func relisten(addr string) (net.Listener, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("rebind %s: %w", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 type stats struct {
 	Simulations uint64 `json:"simulations"`
 	Cluster     *struct {
-		Proxied         uint64 `json:"proxied"`
-		RemoteCells     uint64 `json:"remote_cells"`
-		RemoteCacheHits uint64 `json:"remote_cache_hits"`
-		CacheServed     uint64 `json:"cache_served"`
+		Peers           []string `json:"peers"`
+		RingHash        uint64   `json:"ring_hash"`
+		SelfIncarnation uint64   `json:"self_incarnation"`
+		ConfirmedDead   uint64   `json:"confirmed_dead"`
+		RepairPulled    uint64   `json:"repair_pulled"`
+		Proxied         uint64   `json:"proxied"`
+		RemoteCells     uint64   `json:"remote_cells"`
+		RemoteCacheHits uint64   `json:"remote_cache_hits"`
+		CacheServed     uint64   `json:"cache_served"`
 	} `json:"cluster"`
 }
 
@@ -128,8 +181,45 @@ func totalSims(ctx context.Context, nodes []*node) (uint64, error) {
 	return total, nil
 }
 
+// waitCluster polls every node's /v1/stats until each sees the
+// expected ring size and all ring fingerprints agree.
+func waitCluster(ctx context.Context, nodes []*node, size int, timeout time.Duration, what string) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := true
+		var hashes []uint64
+		for _, nd := range nodes {
+			st, err := getStats(ctx, nd)
+			if err != nil {
+				ok = false
+				break
+			}
+			if len(st.Cluster.Peers)+1 != size {
+				ok = false
+				break
+			}
+			hashes = append(hashes, st.Cluster.RingHash)
+		}
+		if ok {
+			for _, h := range hashes {
+				if h != hashes[0] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s: membership did not converge to %d nodes within %v", what, size, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 func run() error {
-	nodes, err := startCluster(3)
+	nodes, urls, err := startCluster(3)
 	if err != nil {
 		return err
 	}
@@ -144,10 +234,14 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
+	if err := waitCluster(ctx, nodes, 3, 10*time.Second, "bootstrap"); err != nil {
+		return err
+	}
+
 	// Phase 1: cold sweep against node A. The ring routes each cell to
 	// its owning node; cluster-wide each cell simulates exactly once.
 	coldStart := time.Now()
-	v, err := a.c.SubmitSweep(ctx, spec("cluster-smoke"))
+	v, err := a.c.SubmitSweep(ctx, spec("cluster-smoke", 1, 2))
 	if err != nil {
 		return fmt.Errorf("cold submit: %w", err)
 	}
@@ -182,7 +276,7 @@ func run() error {
 	// result lives on its owning shard; C must assemble the sweep from
 	// cross-shard cache fetches without a single new simulation.
 	warmStart := time.Now()
-	warm, err := c.c.SubmitSweep(ctx, spec("cluster-smoke-warm"))
+	warm, err := c.c.SubmitSweep(ctx, spec("cluster-smoke-warm", 1, 2))
 	if err != nil {
 		return fmt.Errorf("warm submit: %w", err)
 	}
@@ -208,6 +302,152 @@ func run() error {
 	}
 	fmt.Printf("cluster-smoke: warm sweep to node C answered in %v (%d cells deduped, %d cross-shard cache hits, 0 new simulations)\n",
 		warmDur.Round(time.Millisecond), warm.Deduped, cStats.Cluster.RemoteCacheHits)
+
+	// Phase 3: churn. Kill node B mid-sweep; SWIM must confirm it dead,
+	// the sweep must still finish every cell exactly once, and a
+	// restarted B must rejoin by gossip alone — bumped incarnation,
+	// cache repaired by anti-entropy — until a warm resubmission
+	// against B costs zero new simulations.
+	b := nodes[1]
+	bAddr := b.url[len("http://"):]
+	churn, err := a.c.SubmitSweep(ctx, spec("cluster-smoke-churn", 3, 4))
+	if err != nil {
+		return fmt.Errorf("churn submit: %w", err)
+	}
+	// Wait for the sweep to actually be in flight before pulling the
+	// plug, so the kill interrupts live dispatch rather than an idle
+	// queue.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		resp, err := a.c.Get(ctx, "/v1/sweeps/"+churn.ID)
+		if err != nil {
+			return fmt.Errorf("churn view: %w", err)
+		}
+		var view sweep.View
+		if err := json.Unmarshal(resp.Body, &view); err != nil {
+			return fmt.Errorf("churn view: %w", err)
+		}
+		if view.Running > 0 || view.Done > 0 || view.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("churn sweep never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	killAt := time.Now()
+	b.ts.Close()
+	b.srv.Close()
+	fmt.Printf("cluster-smoke: killed node B mid-sweep (%s)\n", b.url)
+
+	// Survivors must converge on a two-node ring via suspect →
+	// confirm-dead within the suspect timeout plus probing/CI slack.
+	survivors := []*node{a, c}
+	if err := waitCluster(ctx, survivors, 2, 10*time.Second, "confirm-dead"); err != nil {
+		return err
+	}
+	for _, nd := range survivors {
+		st, err := getStats(ctx, nd)
+		if err != nil {
+			return err
+		}
+		if st.Cluster.ConfirmedDead == 0 {
+			return fmt.Errorf("survivor %s converged without confirming B dead", nd.url)
+		}
+	}
+	fmt.Printf("cluster-smoke: survivors confirmed B dead in %v\n",
+		time.Since(killAt).Round(time.Millisecond))
+
+	// The orphaned sweep must still complete: every cell terminal
+	// exactly once, none failed — B's in-flight cells are re-routed to
+	// the survivors.
+	terminal := make(map[int]int)
+	churnFinal, err := a.c.StreamSweepResults(ctx, churn.ID, func(ev sweep.Event) error {
+		terminal[ev.Cell]++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("churn stream: %w", err)
+	}
+	if churnFinal.Done != churn.Cells || churnFinal.Failed != 0 {
+		return fmt.Errorf("churn sweep: done %d failed %d, want %d/0", churnFinal.Done, churnFinal.Failed, churn.Cells)
+	}
+	if len(terminal) != churn.Cells {
+		return fmt.Errorf("churn sweep emitted terminal events for %d cells, want %d", len(terminal), churn.Cells)
+	}
+	for cell, n := range terminal {
+		if n != 1 {
+			return fmt.Errorf("churn cell %d completed %d times, want exactly once", cell, n)
+		}
+	}
+	fmt.Printf("cluster-smoke: churn sweep finished on the survivors (%d cells exactly once, 0 failed)\n",
+		churnFinal.Done)
+
+	// Restart B on the same address with the same config. It must
+	// rejoin purely by gossip: learn its own tombstone, refute it with
+	// a bumped incarnation, and pull back every key it owns via
+	// anti-entropy repair.
+	ln, err := relisten(bAddr)
+	if err != nil {
+		return err
+	}
+	nb, err := startNode(ln, b.url, urls)
+	if err != nil {
+		return fmt.Errorf("restart B: %w", err)
+	}
+	nodes[1] = nb
+	if err := waitCluster(ctx, nodes, 3, 10*time.Second, "rejoin"); err != nil {
+		return err
+	}
+	// Repair runs right after the rejoin; wait until the pull counter
+	// is nonzero and has stopped moving before trusting B's cache.
+	var pulled uint64
+	stable := 0
+	for deadline := time.Now().Add(15 * time.Second); stable < 5; {
+		st, err := getStats(ctx, nb)
+		if err != nil {
+			return err
+		}
+		if st.Cluster.SelfIncarnation == 0 {
+			return fmt.Errorf("restarted B rejoined without bumping its incarnation")
+		}
+		if st.Cluster.RepairPulled > 0 && st.Cluster.RepairPulled == pulled {
+			stable++
+		} else {
+			stable = 0
+		}
+		pulled = st.Cluster.RepairPulled
+		if time.Now().After(deadline) {
+			return fmt.Errorf("anti-entropy repair never settled (pulled %d)", pulled)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("cluster-smoke: B rejoined in %v with bumped incarnation and %d repaired cache entries\n",
+		time.Since(killAt).Round(time.Millisecond), pulled)
+
+	// Final warm pass, submitted to the rejoined node: the churn cells
+	// must all dedupe against B's repaired cache and its peers — zero
+	// new simulations anywhere.
+	simsBefore, err := totalSims(ctx, nodes)
+	if err != nil {
+		return err
+	}
+	rewarm, err := nb.c.SubmitSweep(ctx, spec("cluster-smoke-rewarm", 3, 4))
+	if err != nil {
+		return fmt.Errorf("rewarm submit: %w", err)
+	}
+	if rewarm.Status != "done" || rewarm.Deduped != churn.Cells {
+		return fmt.Errorf("rewarm sweep: status %q deduped %d, want done with all %d cells deduped",
+			rewarm.Status, rewarm.Deduped, churn.Cells)
+	}
+	simsAfter, err := totalSims(ctx, nodes)
+	if err != nil {
+		return err
+	}
+	if simsAfter != simsBefore {
+		return fmt.Errorf("rewarm sweep ran %d new simulations after B rejoined, want 0", simsAfter-simsBefore)
+	}
+	fmt.Printf("cluster-smoke: warm resubmission to rejoined B deduped %d cells with 0 new simulations\n",
+		rewarm.Deduped)
 	return nil
 }
 
